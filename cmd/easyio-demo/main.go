@@ -1,0 +1,96 @@
+// Command easyio-demo is a narrated tour of the EasyIO mechanisms: it
+// shows CPU harvesting during an asynchronous write, the two-level lock
+// gating a conflicting read, and crash recovery discarding a committed
+// write whose DMA never landed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	easyio "github.com/easyio-sim/easyio"
+)
+
+func main() {
+	demoHarvest()
+	demoTwoLevelLock()
+	demoCrashRecovery()
+}
+
+func demoHarvest() {
+	fmt.Println("== 1. harvesting the DMA window ==")
+	sys, err := easyio.New(easyio.Config{Cores: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	computeDone := 0
+	sys.Go(0, "writer", func(t *easyio.Task) {
+		f, _ := sys.FS.Create(t, "/big")
+		start := t.Now()
+		sys.FS.WriteAt(t, f, 0, make([]byte, 2<<20)) // ~170us of DMA
+		fmt.Printf("   2MB async write finished at %v; %d compute slices ran inside its DMA window\n",
+			t.Now()-start, computeDone)
+	})
+	sys.Go(0, "compute", func(t *easyio.Task) {
+		for i := 0; i < 100; i++ {
+			t.Compute(easyio.Microsecond)
+			computeDone++
+			t.Yield()
+		}
+	})
+	sys.Run()
+}
+
+func demoTwoLevelLock() {
+	fmt.Println("== 2. two-level locking ==")
+	sys, err := easyio.New(easyio.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	var f *easyio.File
+	sys.Go(0, "writer", func(t *easyio.Task) {
+		f, _ = sys.FS.Create(t, "/shared")
+		sys.FS.WriteAt(t, f, 0, make([]byte, 1<<20))
+		fmt.Printf("   write's data landed at %v\n", t.Now())
+	})
+	sys.Go(1, "reader", func(t *easyio.Task) {
+		t.Sleep(10 * easyio.Microsecond)
+		buf := make([]byte, 4096)
+		sys.FS.ReadAt(t, f, 0, buf)
+		fmt.Printf("   conflicting read returned at %v (gated on the in-flight DMA)\n", t.Now())
+	})
+	sys.Run()
+}
+
+func demoCrashRecovery() {
+	fmt.Println("== 3. orderless crash recovery ==")
+	sys, err := easyio.New(easyio.Config{Cores: 1, TrackPersistence: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{'O'}, 256<<10)
+	sys.Go(0, "w", func(t *easyio.Task) {
+		f, _ := sys.FS.Create(t, "/f")
+		sys.FS.WriteAt(t, f, 0, old)
+		sys.FS.WriteAt(t, f, 0, bytes.Repeat([]byte{'N'}, 256<<10))
+	})
+	// Stop the world while the second write's DMA is in flight (its
+	// metadata is already committed).
+	sys.RunFor(60 * easyio.Microsecond)
+	sys2, err := sys.Crash()
+	sys.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys2.Close()
+	f, err := sys2.FS.Open(nil, "/f")
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, 1)
+	sys2.FS.FS.ReadAt(nil, f, 0, got)
+	fmt.Printf("   after crash mid-DMA, recovery exposes the %c version (SN not durable -> entry discarded)\n", got[0])
+}

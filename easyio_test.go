@@ -1,0 +1,95 @@
+package easyio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	sys, err := New(Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var got []byte
+	sys.Go(-1, "writer", func(task *Task) {
+		f, err := sys.FS.Create(task, "/hello")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sys.FS.WriteAt(task, f, 0, bytes.Repeat([]byte("slow memory "), 4000))
+		got = make([]byte, f.Size())
+		sys.FS.ReadAt(task, f, 0, got)
+	})
+	sys.Run()
+	if !bytes.HasPrefix(got, []byte("slow memory ")) || len(got) != 48000 {
+		t.Fatalf("roundtrip failed: %d bytes", len(got))
+	}
+	if sys.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Runtime.NumCores() != 4 {
+		t.Fatalf("cores = %d", sys.Runtime.NumCores())
+	}
+	if len(sys.Engines) != 2 || sys.Engines[0].NumChannels() != 8 {
+		t.Fatal("engine defaults wrong")
+	}
+}
+
+func TestCrashRecoversDurableState(t *testing.T) {
+	sys, err := New(Config{Cores: 1, TrackPersistence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xEE}, 32<<10)
+	sys.Go(0, "w", func(task *Task) {
+		f, _ := sys.FS.Create(task, "/durable")
+		sys.FS.WriteAt(task, f, 0, data)
+	})
+	sys.Run()
+	sys2, err := sys.Crash()
+	sys.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	f, err := sys2.FS.Open(nil, "/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	sys2.FS.FS.ReadAt(nil, f, 0, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("durable write lost across crash")
+	}
+}
+
+func TestBusyFractionReflectsHarvesting(t *testing.T) {
+	// One core, a parked async write plus compute: the core stays mostly
+	// busy because the window is harvested.
+	sys, _ := New(Config{Cores: 1})
+	defer sys.Close()
+	sys.Go(0, "w", func(task *Task) {
+		f, _ := sys.FS.Create(task, "/f")
+		sys.FS.WriteAt(task, f, 0, make([]byte, 1<<20))
+	})
+	sys.Go(0, "c", func(task *Task) {
+		for i := 0; i < 100; i++ {
+			task.Compute(Microsecond)
+			task.Yield()
+		}
+	})
+	sys.Run()
+	if bf := sys.BusyFraction(); bf < 0.8 {
+		t.Fatalf("busy fraction = %.2f; harvesting failed", bf)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/easyio-sim/easyio
+
+go 1.22

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/easyio-sim/easyio/internal/apps"
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/filebench"
+	"github.com/easyio-sim/easyio/internal/fxmark"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+	"github.com/easyio-sim/easyio/internal/stats"
+)
+
+// fig10Cores is the application sweep (§6.3 runs within 16 cores).
+var fig10Cores = []int{1, 2, 4, 8, 12, 16}
+
+// Fig10 reproduces the eight real-world application throughput curves and
+// prints each system's peak plus the speedup over NOVA.
+func Fig10(w io.Writer, measure sim.Duration, seed uint64) {
+	type appRun struct {
+		name string
+		run  func(inst *Instance, cores int) float64
+	}
+	runSpec := func(spec apps.Spec) func(*Instance, int) float64 {
+		return func(inst *Instance, cores int) float64 {
+			res, err := apps.Run(inst.Eng, inst.RT, inst.FS, apps.Config{
+				Spec: spec, Cores: cores, Uthreads: inst.Uthreads(),
+				Measure: measure, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return res.Throughput()
+		}
+	}
+	runFB := func(p filebench.Personality) func(*Instance, int) float64 {
+		return func(inst *Instance, cores int) float64 {
+			res, err := apps.RunFilebench(inst.Eng, inst.RT, inst.FS, p, cores, inst.Uthreads(), seed)
+			if err != nil {
+				panic(err)
+			}
+			return res.Throughput()
+		}
+	}
+	var runs []appRun
+	for _, spec := range apps.Specs() {
+		runs = append(runs, appRun{spec.Name, runSpec(spec)})
+	}
+	runs = append(runs,
+		appRun{"Fileserver", runFB(filebench.Fileserver)},
+		appRun{"Webserver", runFB(filebench.Webserver)},
+	)
+
+	for _, app := range runs {
+		tb := stats.NewTable(append([]string{"system"}, coreHeaders(fig10Cores)...)...)
+		peak := map[System]float64{}
+		for _, sys := range AllSystems() {
+			row := []any{string(sys)}
+			for _, cores := range fig10Cores {
+				if cores > MaxWorkerCores(sys) {
+					row = append(row, "-")
+					continue
+				}
+				inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				thr := app.run(inst, cores)
+				inst.Close()
+				row = append(row, thr)
+				if thr > peak[sys] {
+					peak[sys] = thr
+				}
+			}
+			tb.AddRow(row...)
+		}
+		fpf(w, "Figure 10 — %s throughput (ops/s) vs cores\n%s", app.name, tb)
+		fpf(w, "speedup vs NOVA at peak: EasyIO %.2fx, NOVA-DMA %.2fx, Odinfs %.2fx\n\n",
+			peak[SysEasyIO]/peak[SysNOVA], peak[SysNOVADMA]/peak[SysNOVA], peak[SysOdinfs]/peak[SysNOVA])
+	}
+}
+
+// Fig11 reproduces the two §6.4 ablations: orderless file operation
+// (single-thread write latency, EasyIO vs Naive) and two-level locking
+// (shared-file write throughput under lock contention with colocated
+// compute uthreads, work stealing disabled).
+func Fig11(w io.Writer, measure sim.Duration, seed uint64) {
+	// Left: orderless file operation.
+	tb := stats.NewTable("io-size", "EasyIO(us)", "Naive(us)", "reduction")
+	for _, size := range fig8Sizes {
+		e, _ := measureOpLatency(SysEasyIO, "write", size)
+		n, _ := measureOpLatency(SysNaive, "write", size)
+		tb.AddRow(sizeLabel(size), e.Micros(), n.Micros(), 1-float64(e)/float64(n))
+	}
+	fpf(w, "Figure 11 (left) — orderless file operation: write latency\n%s\n", tb)
+
+	// Right: two-level locking under DWOM contention. Per §6.4.2: work
+	// stealing disabled, two uthreads per core — one running DWOM on a
+	// shared file, the other pure computation.
+	tb2 := stats.NewTable("cores", "EasyIO(ops/s)", "Naive(ops/s)", "gain")
+	for _, cores := range []int{2, 4, 6, 8} {
+		thr := map[System]float64{}
+		for _, sys := range []System{SysEasyIO, SysNaive} {
+			thr[sys] = runLockContention(sys, cores, measure, seed)
+		}
+		tb2.AddRow(cores, thr[SysEasyIO], thr[SysNaive], thr[SysEasyIO]/thr[SysNaive]-1)
+	}
+	fpf(w, "Figure 11 (right) — two-level locking: DWOM throughput with colocated compute\n%s\n", tb2)
+}
+
+// runLockContention measures shared-file write throughput with a compute
+// uthread colocated on every core.
+func runLockContention(sys System, cores int, measure sim.Duration, seed uint64) float64 {
+	inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	defer inst.Close()
+	// Disable stealing per the paper: rebuild the runtime.
+	inst.RT = caladan.New(inst.Eng, caladan.Options{Cores: cores, Seed: seed, DisableStealing: true})
+	// Compute uthreads, one per core, never issuing I/O.
+	end := sim.Time(2*sim.Millisecond) + sim.Time(measure)
+	for i := 0; i < cores; i++ {
+		inst.RT.Spawn(i, "compute", func(task *caladan.Task) {
+			for task.Now() < end {
+				task.Compute(2 * sim.Microsecond)
+				task.Yield()
+			}
+		})
+	}
+	res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
+		Workload: fxmark.DWOM,
+		Cores:    cores,
+		Uthreads: cores, // one writer per core + the compute uthread
+		IOSize:   16 << 10,
+		Measure:  measure,
+		Seed:     seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Throughput()
+}
+
+// Fig12 reproduces the bandwidth-throttling experiment: a Web server
+// (L-app, 64 KB reads, Poisson arrivals) colocated with a garbage
+// collector (B-app, periodic 2 MB bulk writes), under No-Throttling,
+// CPU-Throttling and DMA-Throttling.
+func Fig12(w io.Writer, span sim.Duration, seed uint64) {
+	modes := []string{"No-Throttling", "CPU-Throttling", "DMA-Throttling"}
+	tb := stats.NewTable("mode", "idle-mean(us)", "gc-mean(us)", "gc-max(us)", "gc-p99(us)")
+	for _, mode := range modes {
+		mgr := core.ManagerOptions{BLimit: 1e18} // effectively unlimited
+		if mode == "DMA-Throttling" {
+			mgr = core.ManagerOptions{BLimit: 2e9} // 2 GB/s (§6.4.3)
+		}
+		inst, err := NewInstance(SysEasyIO, 2, InstanceOptions{Seed: seed, Manager: mgr})
+		if err != nil {
+			panic(err)
+		}
+		fs := inst.CoreFS
+		if mode == "DMA-Throttling" {
+			fs.Manager().Start()
+		}
+		// File set for the web server.
+		webFile, _ := fs.Create(nil, "/web")
+		fs.FS.WriteAt(nil, webFile, 0, make([]byte, 1<<20))
+		gcFile, _ := fs.Create(nil, "/gcdst")
+
+		end := sim.Time(span)
+		gcStart, gcEnd := end/3, 2*end/3
+		var idle, busy stats.Recorder
+
+		// Web server: Poisson arrivals, ~25k req/s, handled by a pool of
+		// uthreads (open loop).
+		g := rng.New(seed ^ 0x12)
+		var spawnReq func(at sim.Time)
+		reqPool := 0
+		spawnReq = func(at sim.Time) {
+			if at >= end {
+				return
+			}
+			inst.Eng.At(at, func() {
+				reqPool++
+				inst.RT.Spawn(reqPool%2, "req", func(task *caladan.Task) {
+					start := task.Now()
+					buf := make([]byte, 64<<10)
+					fs.ReadAt(task, webFile, 0, buf)
+					d := sim.Duration(task.Now() - start)
+					if start >= gcStart && start < gcEnd {
+						busy.Add(d)
+					} else {
+						idle.Add(d)
+					}
+				})
+			})
+			spawnReq(at + sim.Time(g.Exp(40_000))) // mean 40 µs between arrivals
+		}
+		spawnReq(sim.Time(5 * sim.Microsecond))
+
+		// GC: 2 MB bulk writes back-to-back during the middle window.
+		inst.RT.Spawn(1, "gc", func(task *caladan.Task) {
+			task.Sleep(sim.Duration(gcStart))
+			buf := make([]byte, 2<<20)
+			for task.Now() < gcEnd {
+				fs.WriteAtClass(task, gcFile, 0, buf, core.ClassB)
+				if mode == "CPU-Throttling" {
+					// Caladan-style CPU quota on the GC: the tiny slice
+					// still suffices to submit descriptors, so DMA
+					// bandwidth consumption is unaffected (§6.4.3).
+					task.Sleep(20 * sim.Microsecond)
+				}
+			}
+		})
+		inst.Eng.RunUntil(end)
+		inst.Close()
+		tb.AddRow(mode, idle.Mean().Micros(), busy.Mean().Micros(), busy.Max().Micros(), busy.P99().Micros())
+	}
+	fpf(w, "Figure 12 — Web-server latency under colocated GC\n%s\n", tb)
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/easyio-sim/easyio/internal/dma"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/sim"
+	"github.com/easyio-sim/easyio/internal/stats"
+)
+
+// rawCopyLoop runs one "core": back-to-back copies until end, counting
+// bytes. submit issues one request (or batch) and must block the proc
+// until it completes.
+func rawCopyLoop(eng *sim.Engine, end sim.Time, submit func(p *sim.Proc) int64, counter *int64) {
+	eng.StartProc("copier", func(p *sim.Proc) {
+		for p.Now() < end {
+			n := submit(p)
+			*counter += n
+		}
+	})
+}
+
+// cpuCopy performs one synchronous memcpy of size bytes.
+func cpuCopy(dev *pmem.Device, write bool, size int) func(*sim.Proc) int64 {
+	return func(p *sim.Proc) int64 {
+		dev.StartFlow(pmem.FlowSpec{Write: write, Kind: pmem.FlowCPU, Bytes: int64(size),
+			OnDone: func() { p.Resume() }})
+		p.Pause()
+		return int64(size)
+	}
+}
+
+// dmaCopy submits batch descriptors of size bytes to ch and waits for all.
+// Submission cost is charged as virtual think time before the wait.
+func dmaCopy(eng *sim.Engine, ch *dma.Channel, write bool, size, batch int) func(*sim.Proc) int64 {
+	submitCost := 300*sim.Nanosecond + sim.Duration(batch)*100*sim.Nanosecond
+	return func(p *sim.Proc) int64 {
+		p.Sleep(submitCost)
+		remaining := batch
+		descs := make([]*dma.Desc, batch)
+		for i := range descs {
+			descs[i] = &dma.Desc{Write: write, PMOff: int64(i) * int64(size), Size: size,
+				OnComplete: func(uint64) {
+					remaining--
+					if remaining == 0 {
+						p.Resume()
+					}
+				}}
+		}
+		for {
+			if _, err := ch.Submit(descs...); err == nil {
+				break
+			}
+			p.Sleep(2 * sim.Microsecond)
+		}
+		p.Pause()
+		return int64(batch) * int64(size)
+	}
+}
+
+// Fig2 reproduces the §2.2 bandwidth comparison of memcpy vs the on-chip
+// DMA engine across core counts (one DMA channel; batch sizes 1 and 4).
+func Fig2(w io.Writer, measure sim.Duration) {
+	cores := []int{1, 2, 4, 8, 16}
+	type cfg struct {
+		name  string
+		size  int
+		batch int // 0 = memcpy
+	}
+	cfgs := []cfg{
+		{"memcpy-4K", 4096, 0},
+		{"DMA-4K-NB", 4096, 1}, {"DMA-4K-B", 4096, 4},
+		{"DMA-16K-NB", 16384, 1}, {"DMA-16K-B", 16384, 4},
+		{"DMA-64K-NB", 65536, 1}, {"DMA-64K-B", 65536, 4},
+	}
+	for _, dir := range []string{"write", "read"} {
+		tb := stats.NewTable(append([]string{"config"}, coreHeaders(cores)...)...)
+		for _, c := range cfgs {
+			row := []any{c.name}
+			for _, n := range cores {
+				eng, dev := microDevice()
+				end := sim.Time(measure)
+				var bytes int64
+				var e *dma.Engine
+				if c.batch > 0 {
+					e = newMicroEngine(dev, 8)
+				}
+				for i := 0; i < n; i++ {
+					if c.batch == 0 {
+						rawCopyLoop(eng, end, cpuCopy(dev, dir == "write", c.size), &bytes)
+					} else {
+						rawCopyLoop(eng, end, dmaCopy(eng, e.Channel(0), dir == "write", c.size, c.batch), &bytes)
+					}
+				}
+				eng.RunUntil(end)
+				eng.Shutdown()
+				row = append(row, stats.GBps(bytes, measure))
+			}
+			tb.AddRow(row...)
+		}
+		fpf(w, "Figure 2 — %s bandwidth (GB/s) vs cores, 1 DMA channel\n%s\n", dir, tb)
+	}
+}
+
+// Fig3 reproduces bandwidth vs the number of DMA channels (16 cores
+// submitting concurrently).
+func Fig3(w io.Writer, measure sim.Duration) {
+	chans := []int{1, 2, 4, 6, 8}
+	sizes := []int{4096, 16384, 65536}
+	for _, dir := range []string{"write", "read"} {
+		tb := stats.NewTable("io-size", "1ch", "2ch", "4ch", "6ch", "8ch")
+		for _, size := range sizes {
+			row := []any{sizeLabel(size)}
+			for _, nc := range chans {
+				eng, dev := microDevice()
+				e := newMicroEngine(dev, nc)
+				end := sim.Time(measure)
+				var bytes int64
+				for i := 0; i < 16; i++ {
+					ch := e.Channel(i % nc)
+					rawCopyLoop(eng, end, dmaCopy(eng, ch, dir == "write", size, 1), &bytes)
+				}
+				eng.RunUntil(end)
+				eng.Shutdown()
+				row = append(row, stats.GBps(bytes, measure))
+			}
+			tb.AddRow(row...)
+		}
+		fpf(w, "Figure 3 — %s bandwidth (GB/s) vs #channels, 16 cores\n%s\n", dir, tb)
+	}
+}
+
+// Fig4 reproduces the foreground/background interference study: a
+// foreground program issues 64 KB DMA reads while a background "GC"
+// periodically moves 2 MB, via memcpy, a separate DMA channel (EX), or
+// the foreground's own channel (SH).
+func Fig4(w io.Writer, span sim.Duration) {
+	modes := []string{"BG-Memcpy", "BG-DMA-EX", "BG-DMA-SH"}
+	tb := stats.NewTable("mode", "baseline(us)", "mean(us)", "max(us)", "p99(us)")
+	series := map[string]*stats.Series{}
+	for _, mode := range modes {
+		eng, dev := microDevice()
+		e := newMicroEngine(dev, 8)
+		fg := e.Channel(0)
+		var bgChan *dma.Channel
+		switch mode {
+		case "BG-DMA-EX":
+			bgChan = e.Channel(1)
+		case "BG-DMA-SH":
+			bgChan = fg
+		}
+		end := sim.Time(span)
+		var lat stats.Recorder
+		sr := &stats.Series{Name: mode}
+		series[mode] = sr
+		var baseline sim.Duration
+
+		// Foreground: 64 KB DMA reads in a closed loop, latency recorded.
+		eng.StartProc("fg", func(p *sim.Proc) {
+			for p.Now() < end {
+				start := p.Now()
+				p.Sleep(400 * sim.Nanosecond) // submit
+				fg.Submit(&dma.Desc{Size: 64 << 10, OnComplete: func(uint64) { p.Resume() }})
+				p.Pause()
+				d := sim.Duration(p.Now() - start)
+				lat.Add(d)
+				if baseline == 0 {
+					baseline = d
+				}
+				sr.Add(p.Now(), d.Micros())
+				p.Sleep(20 * sim.Microsecond) // open-loop pacing
+			}
+		})
+		// Background GC: 2 MB bulk movement every 300 µs during the
+		// middle third of the run.
+		gcStart := end / 3
+		gcEnd := 2 * end / 3
+		eng.StartProc("bg", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(gcStart))
+			for p.Now() < gcEnd {
+				if mode == "BG-Memcpy" {
+					dev.StartFlow(pmem.FlowSpec{Kind: pmem.FlowCPU, Bytes: 2 << 20,
+						OnDone: func() { p.Resume() }})
+					p.Pause()
+				} else {
+					bgChan.Submit(&dma.Desc{Size: 2 << 20, PMOff: 1 << 30,
+						OnComplete: func(uint64) { p.Resume() }})
+					p.Pause()
+				}
+				p.Sleep(300 * sim.Microsecond)
+			}
+		})
+		eng.RunUntil(end)
+		eng.Shutdown()
+		tb.AddRow(mode, baseline.Micros(), lat.Mean().Micros(), lat.Max().Micros(), lat.P99().Micros())
+	}
+	fpf(w, "Figure 4 — FG 64KB DMA-read latency under periodic BG 2MB movement\n%s\n", tb)
+}
+
+func coreHeaders(cores []int) []string {
+	h := make([]string, len(cores))
+	for i, c := range cores {
+		h[i] = fpfS("%dc", c)
+	}
+	return h
+}
+
+func sizeLabel(size int) string {
+	if size >= 1<<20 {
+		return fpfS("%dM", size>>20)
+	}
+	return fpfS("%dK", size>>10)
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/easyio-sim/easyio/internal/fxmark"
+	"github.com/easyio-sim/easyio/internal/sim"
+	"github.com/easyio-sim/easyio/internal/stats"
+)
+
+// Fig9Point is one (cores, throughput, latency) sample of a Figure 9
+// curve.
+type Fig9Point struct {
+	Cores int
+	Thr   float64 // ops/s
+	Avg   sim.Duration
+	P99   sim.Duration
+}
+
+// Fig9Panel is one of the four panels: a workload at an I/O size with one
+// curve per system.
+type Fig9Panel struct {
+	Workload    fxmark.Workload
+	IOSize      int
+	Curves      map[System][]Fig9Point
+	Peak        map[System]Fig9Point // throughput peak
+	CoresAtPeak map[System]int       // minimum cores achieving ~peak
+}
+
+// fig9Cores is the core sweep (§6.2 uses up to 18 worker threads).
+var fig9Cores = []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 24, 30, 36}
+
+// RunFig9Panel sweeps one panel.
+func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uint64) *Fig9Panel {
+	p := &Fig9Panel{
+		Workload:    wl,
+		IOSize:      ioSize,
+		Curves:      map[System][]Fig9Point{},
+		Peak:        map[System]Fig9Point{},
+		CoresAtPeak: map[System]int{},
+	}
+	for _, sys := range AllSystems() {
+		for _, cores := range fig9Cores {
+			if cores > MaxWorkerCores(sys) {
+				continue
+			}
+			inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
+				Workload: wl,
+				Cores:    cores,
+				Uthreads: inst.Uthreads(),
+				IOSize:   ioSize,
+				Measure:  measure,
+				Seed:     seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			inst.Close()
+			p.Curves[sys] = append(p.Curves[sys], Fig9Point{
+				Cores: cores,
+				Thr:   res.Throughput(),
+				Avg:   res.Lat.Mean(),
+				P99:   res.Lat.P99(),
+			})
+		}
+		// Peak and minimum cores achieving >= 97% of it.
+		var peak Fig9Point
+		for _, pt := range p.Curves[sys] {
+			if pt.Thr > peak.Thr {
+				peak = pt
+			}
+		}
+		p.Peak[sys] = peak
+		for _, pt := range p.Curves[sys] {
+			if pt.Thr >= 0.97*peak.Thr {
+				p.CoresAtPeak[sys] = pt.Cores
+				break
+			}
+		}
+	}
+	return p
+}
+
+// Fig9 runs all four panels and prints curves plus the cores-at-peak
+// tables embedded in the paper's figure.
+func Fig9(w io.Writer, measure sim.Duration, seed uint64) []*Fig9Panel {
+	type panelCfg struct {
+		wl     fxmark.Workload
+		ioSize int
+		label  string
+	}
+	cfgs := []panelCfg{
+		{fxmark.DWAL, 16 << 10, "Write Thru. (16KB)"},
+		{fxmark.DRBL, 16 << 10, "Read Thru. (16KB)"},
+		{fxmark.DWAL, 64 << 10, "Write Thru. (64KB)"},
+		{fxmark.DRBL, 64 << 10, "Read Thru. (64KB)"},
+	}
+	var panels []*Fig9Panel
+	for _, cfg := range cfgs {
+		p := RunFig9Panel(cfg.wl, cfg.ioSize, measure, seed)
+		panels = append(panels, p)
+		fpf(w, "Figure 9 — %s: throughput vs latency by core count\n", cfg.label)
+		for _, sys := range AllSystems() {
+			tb := stats.NewTable("cores", "ops/s", "avg(us)", "p99(us)")
+			for _, pt := range p.Curves[sys] {
+				tb.AddRow(pt.Cores, pt.Thr, pt.Avg.Micros(), pt.P99.Micros())
+			}
+			fpf(w, "[%s]\n%s", sys, tb)
+		}
+		tb := stats.NewTable("system", "cores@peak", "peak ops/s", "avg(us)@peak", "p99(us)@peak")
+		for _, sys := range AllSystems() {
+			pk := p.Peak[sys]
+			tb.AddRow(string(sys), p.CoresAtPeak[sys], pk.Thr, pk.Avg.Micros(), pk.P99.Micros())
+		}
+		fpf(w, "cores to reach peak:\n%s\n", tb)
+	}
+	return panels
+}

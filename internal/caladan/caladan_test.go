@@ -1,0 +1,290 @@
+package caladan
+
+import (
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+func newRT(cores int) (*sim.Engine, *Runtime) {
+	eng := sim.NewEngine()
+	return eng, New(eng, Options{Cores: cores, Seed: 1})
+}
+
+func TestComputeOccupiesCore(t *testing.T) {
+	eng, rt := newRT(1)
+	var end sim.Time
+	rt.Spawn(0, "w", func(task *Task) {
+		task.Compute(10 * sim.Microsecond)
+		end = task.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if end < sim.Time(10*sim.Microsecond) {
+		t.Fatalf("end = %v", end)
+	}
+	c := rt.Core(0)
+	if c.BusyTime() < 10*sim.Microsecond {
+		t.Fatalf("busy = %v", c.BusyTime())
+	}
+}
+
+func TestTwoUthreadsShareOneCore(t *testing.T) {
+	eng, rt := newRT(1)
+	var aDone, bDone sim.Time
+	rt.Spawn(0, "a", func(task *Task) {
+		task.Compute(10 * sim.Microsecond)
+		aDone = task.Now()
+	})
+	rt.Spawn(0, "b", func(task *Task) {
+		task.Compute(10 * sim.Microsecond)
+		bDone = task.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	// Cooperative scheduling: a runs to completion first, then b.
+	if aDone >= bDone {
+		t.Fatalf("a %v, b %v", aDone, bDone)
+	}
+	if bDone < sim.Time(20*sim.Microsecond) {
+		t.Fatalf("b done too early: %v", bDone)
+	}
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	eng, rt := newRT(1)
+	var order []string
+	mk := func(name string) func(*Task) {
+		return func(task *Task) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				task.Compute(1 * sim.Microsecond)
+				task.Yield()
+			}
+		}
+	}
+	rt.Spawn(0, "a", mk("a"))
+	rt.Spawn(0, "b", mk("b"))
+	eng.Run()
+	eng.Shutdown()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParkFreesCoreForOtherWork(t *testing.T) {
+	// a parks for 100us (async I/O), b computes during the window.
+	eng, rt := newRT(1)
+	var bDone, aDone sim.Time
+	rt.Spawn(0, "a", func(task *Task) {
+		task.Sleep(100 * sim.Microsecond)
+		aDone = task.Now()
+	})
+	rt.Spawn(0, "b", func(task *Task) {
+		task.Compute(50 * sim.Microsecond)
+		bDone = task.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if bDone > sim.Time(60*sim.Microsecond) {
+		t.Fatalf("b not overlapped with a's park: %v", bDone)
+	}
+	if aDone < sim.Time(100*sim.Microsecond) {
+		t.Fatalf("a woke early: %v", aDone)
+	}
+}
+
+func TestWaitHoldsCore(t *testing.T) {
+	// a Waits (busy-polls) for 100us; b cannot run during that window on a
+	// 1-core runtime.
+	eng, rt := newRT(1)
+	var bStart sim.Time
+	ut := rt.Spawn(0, "a", func(task *Task) {
+		task.Wait()
+	})
+	rt.Spawn(0, "b", func(task *Task) {
+		bStart = task.Now()
+		task.Compute(sim.Microsecond)
+	})
+	eng.After(100*sim.Microsecond, func() { ut.Wake() })
+	eng.Run()
+	eng.Shutdown()
+	if bStart < sim.Time(100*sim.Microsecond) {
+		t.Fatalf("b ran while a was busy-waiting: %v", bStart)
+	}
+	if rt.Core(0).BusyTime() < 100*sim.Microsecond {
+		t.Fatalf("core not busy during Wait: %v", rt.Core(0).BusyTime())
+	}
+}
+
+func TestWakePendingBeforePark(t *testing.T) {
+	// Wake arrives while the uthread is still running: the next Park must
+	// not block.
+	eng, rt := newRT(1)
+	done := false
+	ut := rt.Spawn(0, "a", func(task *Task) {
+		task.Compute(10 * sim.Microsecond)
+		task.Park() // wake already pending
+		done = true
+	})
+	eng.After(sim.Microsecond, func() { ut.Wake() })
+	eng.Run()
+	eng.Shutdown()
+	if !done {
+		t.Fatal("lost wakeup")
+	}
+}
+
+func TestWorkStealingBalances(t *testing.T) {
+	// 8 uthreads all homed on core 0 of a 4-core runtime: idle cores
+	// should steal, so the makespan is ~2 rounds, not 8.
+	eng, rt := newRT(4)
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		rt.Spawn(0, "w", func(task *Task) {
+			task.Compute(100 * sim.Microsecond)
+			last = task.Now()
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	if last > sim.Time(250*sim.Microsecond) {
+		t.Fatalf("makespan %v suggests no stealing", last)
+	}
+	busy1 := rt.Core(1).BusyTime()
+	if busy1 < 100*sim.Microsecond {
+		t.Fatalf("core 1 stole nothing: %v", busy1)
+	}
+}
+
+func TestStealingDisabled(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := New(eng, Options{Cores: 4, DisableStealing: true})
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		rt.Spawn(0, "w", func(task *Task) {
+			task.Compute(100 * sim.Microsecond)
+			last = task.Now()
+		})
+	}
+	eng.Run()
+	eng.Shutdown()
+	if last < sim.Time(400*sim.Microsecond) {
+		t.Fatalf("work ran in parallel despite pinning: %v", last)
+	}
+	if rt.Core(1).BusyTime() != 0 {
+		t.Fatal("core 1 busy with stealing disabled")
+	}
+}
+
+func TestParkedWakeOnIdleRemoteCore(t *testing.T) {
+	// A parked uthread whose home core is busy is stolen by an idle core
+	// at wake time (Caladan's finished-I/O stealing, §5).
+	eng, rt := newRT(2)
+	var aResumed sim.Time
+	a := rt.Spawn(0, "a", func(task *Task) {
+		task.Park()
+		aResumed = task.Now()
+		task.Compute(sim.Microsecond)
+	})
+	// Hog core 0 far beyond the wake point.
+	rt.Spawn(0, "hog", func(task *Task) {
+		task.Compute(1000 * sim.Microsecond)
+	})
+	eng.After(10*sim.Microsecond, func() { a.Wake() })
+	eng.Run()
+	eng.Shutdown()
+	if aResumed > sim.Time(20*sim.Microsecond) {
+		t.Fatalf("woken uthread waited for busy home core: %v", aResumed)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	eng, rt := newRT(2)
+	rt.Spawn(0, "w", func(task *Task) {
+		task.Compute(100 * sim.Microsecond)
+	})
+	eng.RunUntil(sim.Time(100 * sim.Microsecond))
+	bf := rt.BusyFraction()
+	if bf < 0.45 || bf > 0.55 {
+		t.Fatalf("busy fraction = %v, want ~0.5 (1 of 2 cores busy)", bf)
+	}
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestSwitchCostCharged(t *testing.T) {
+	cpu := perfmodel.DefaultCPU()
+	eng, rt := newRT(1)
+	var done sim.Time
+	rt.Spawn(0, "w", func(task *Task) {
+		done = task.Now()
+	})
+	eng.Run()
+	eng.Shutdown()
+	if done < sim.Time(cpu.UthreadSwitch) {
+		t.Fatalf("dispatch charged no switch cost: %v", done)
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	eng, rt := newRT(1)
+	rt.Spawn(0, "w", func(task *Task) { task.Compute(sim.Microsecond) })
+	rt.Spawn(0, "v", func(task *Task) { task.Compute(sim.Microsecond) })
+	if rt.Live() != 2 {
+		t.Fatalf("live = %d", rt.Live())
+	}
+	eng.Run()
+	eng.Shutdown()
+	if rt.Live() != 0 {
+		t.Fatalf("live after run = %d", rt.Live())
+	}
+}
+
+func TestRoundRobinSpawn(t *testing.T) {
+	eng, rt := newRT(3)
+	counts := make([]int, 3)
+	for i := 0; i < 9; i++ {
+		ut := rt.Spawn(-1, "w", func(task *Task) {})
+		counts[ut.core.id]++
+	}
+	for i, c := range counts {
+		if c != 3 {
+			t.Fatalf("core %d got %d uthreads: %v", i, c, counts)
+		}
+	}
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []sim.Time {
+		eng, rt := newRT(2)
+		var ts []sim.Time
+		for i := 0; i < 6; i++ {
+			d := sim.Duration(i+1) * sim.Microsecond
+			rt.Spawn(-1, "w", func(task *Task) {
+				task.Compute(d)
+				task.Yield()
+				task.Compute(d)
+				ts = append(ts, task.Now())
+			})
+		}
+		eng.Run()
+		eng.Shutdown()
+		return ts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule nondeterministic at %d", i)
+		}
+	}
+}

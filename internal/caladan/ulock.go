@@ -1,0 +1,77 @@
+package caladan
+
+// ULock is a uthread-aware mutex: contended lockers park (releasing their
+// core) and the lock is handed off FIFO, keeping the simulation
+// deterministic. It is the filesystems' per-inode "level-1" lock.
+//
+// A nil *Task may lock and unlock as long as there is no contention; this
+// supports single-threaded contexts (mount, recovery, functional tests)
+// that run outside the uthread runtime.
+type ULock struct {
+	owner   *UThread
+	held    bool // covers nil-task ownership too
+	waiters []*UThread
+}
+
+// Lock acquires the mutex, parking the calling uthread while contended.
+func (l *ULock) Lock(t *Task) {
+	if !l.held {
+		l.held = true
+		if t != nil {
+			l.owner = t.ut
+		}
+		return
+	}
+	if t == nil {
+		panic("caladan: nil task blocked on contended ULock")
+	}
+	l.waiters = append(l.waiters, t.ut)
+	t.Park()
+	// Unlock handed ownership to us before waking.
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting uthread.
+func (l *ULock) Unlock() {
+	if !l.held {
+		panic("caladan: unlock of unlocked ULock")
+	}
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.owner = nil
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.owner = next
+	next.Wake()
+}
+
+// Held reports whether the lock is currently owned.
+func (l *ULock) Held() bool { return l.held }
+
+// Waiters reports the number of parked lockers.
+func (l *ULock) Waiters() int { return len(l.waiters) }
+
+// WaitQueue parks uthreads until Broadcast — the filesystems' "level-2"
+// completion gate (uthreads waiting for an in-flight DMA write to land).
+type WaitQueue struct {
+	waiters []*UThread
+}
+
+// Wait parks the calling uthread until the next Broadcast.
+func (q *WaitQueue) Wait(t *Task) {
+	q.waiters = append(q.waiters, t.ut)
+	t.Park()
+}
+
+// Broadcast wakes all parked uthreads in FIFO order.
+func (q *WaitQueue) Broadcast() {
+	ws := q.waiters
+	q.waiters = nil
+	for _, ut := range ws {
+		ut.Wake()
+	}
+}
+
+// Len reports the number of parked uthreads.
+func (q *WaitQueue) Len() int { return len(q.waiters) }

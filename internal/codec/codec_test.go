@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/easyio-sim/easyio/internal/rng"
+)
+
+func TestRoundtripSimple(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello hello hello hello"),
+		bytes.Repeat([]byte("abcd"), 1000),
+		make([]byte, 4096), // zeros: highly compressible
+	}
+	for _, src := range cases {
+		enc := Compress(nil, src)
+		dec, err := Decompress(enc)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("roundtrip mismatch for %d bytes", len(src))
+		}
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox "), 500)
+	enc := Compress(nil, src)
+	if len(enc) > len(src)/4 {
+		t.Fatalf("ratio too poor: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestRandomDataExpandsBounded(t *testing.T) {
+	src := make([]byte, 10000)
+	rng.New(1).Bytes(src)
+	enc := Compress(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("exceeded MaxEncodedLen: %d > %d", len(enc), MaxEncodedLen(len(src)))
+	}
+	dec, err := Decompress(enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("random roundtrip failed")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed uint64, structured bool) bool {
+		g := rng.New(seed)
+		n := g.Intn(20000)
+		src := make([]byte, n)
+		if structured {
+			// Repetitive source with varying period.
+			period := 1 + g.Intn(64)
+			pat := make([]byte, period)
+			g.Bytes(pat)
+			for i := range src {
+				src[i] = pat[i%period]
+			}
+		} else {
+			g.Bytes(src)
+		}
+		dec, err := Decompress(Compress(nil, src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	if _, err := Decompress([]byte{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	src := bytes.Repeat([]byte("xyz"), 100)
+	enc := Compress(nil, src)
+	// Truncations must error, never panic.
+	for cut := 1; cut < len(enc); cut += 7 {
+		if dec, err := Decompress(enc[:cut]); err == nil && bytes.Equal(dec, src) {
+			t.Fatalf("truncated input at %d decoded fully", cut)
+		}
+	}
+}

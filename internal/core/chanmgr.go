@@ -1,0 +1,260 @@
+package core
+
+import (
+	"github.com/easyio-sim/easyio/internal/dma"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// ManagerOptions tunes the traffic-aware channel manager (§4.4).
+type ManagerOptions struct {
+	// LChannels is how many channels latency-critical traffic may use
+	// (≤4 per the paper's empirical study); they are spread across
+	// engines. Default 4.
+	LChannels int
+	// Epoch is the QoS control interval (µs-scale in the paper).
+	// Default 50µs.
+	Epoch sim.Duration
+	// Delta is the per-epoch bandwidth limit adjustment in bytes/sec
+	// (Listing 1's hyper-parameter). Default 250 MB/s.
+	Delta float64
+	// SlackThreshold is Listing 1's `threshold`: when every L-app has
+	// more than this fraction of latency headroom, B-apps are throttled
+	// up. Default 0.2.
+	SlackThreshold float64
+	// BSplit is the maximum B-app descriptor size; bulk I/O is split so
+	// channel suspension never repeats large transfers. Default 64 KB.
+	BSplit int
+	// BLimit is the initial (or, without Adaptive, the fixed) B-app
+	// bandwidth budget in bytes/sec. Default 2 GB/s.
+	BLimit float64
+	// Adaptive enables the Listing 1 feedback loop.
+	Adaptive bool
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.LChannels == 0 {
+		o.LChannels = 4
+	}
+	if o.Epoch == 0 {
+		o.Epoch = 50 * sim.Microsecond
+	}
+	if o.Delta == 0 {
+		o.Delta = 250e6
+	}
+	if o.SlackThreshold == 0 {
+		o.SlackThreshold = 0.2
+	}
+	if o.BSplit == 0 {
+		o.BSplit = 64 << 10
+	}
+	if o.BLimit == 0 {
+		o.BLimit = 2e9
+	}
+	return o
+}
+
+// ChanRef names one channel of one engine.
+type ChanRef struct {
+	Engine *dma.Engine
+	Chan   *dma.Channel
+}
+
+// LApp is a registered latency-critical application with an SLO target.
+// Uthreads report operation latencies; the manager reads and resets the
+// window each epoch.
+type LApp struct {
+	Target sim.Duration
+	sum    sim.Duration
+	count  int
+}
+
+// Report records one operation latency.
+func (l *LApp) Report(d sim.Duration) {
+	l.sum += d
+	l.count++
+}
+
+// window returns the epoch's mean latency and whether any ops ran.
+func (l *LApp) window() (sim.Duration, bool) {
+	if l.count == 0 {
+		return 0, false
+	}
+	m := l.sum / sim.Duration(l.count)
+	l.sum, l.count = 0, 0
+	return m, true
+}
+
+// Manager assigns DMA channels to traffic classes and regulates B-app
+// bandwidth by suspending/resuming the shared B channel (§4.4).
+type Manager struct {
+	eng    *sim.Engine
+	opts   ManagerOptions
+	lchans []ChanRef
+	bchan  ChanRef
+	nextW  int
+
+	lapps  []*LApp
+	bLimit float64
+
+	running    bool
+	epochBase  int64 // bchan.BytesCompleted at epoch start
+	suspACC    int64 // suspend/resume actions (stats)
+	BLimitHist []float64
+}
+
+// NewManager lays out channels: L channels are spread across engines
+// (round-robin) starting at channel 0; the single shared B channel is the
+// last channel of engine 0 (never overlapping the L set).
+func NewManager(eng *sim.Engine, engines []*dma.Engine, opts ManagerOptions) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{eng: eng, opts: opts, bLimit: opts.BLimit}
+	for i := 0; i < opts.LChannels; i++ {
+		e := engines[i%len(engines)]
+		ci := i / len(engines)
+		if ci >= e.NumChannels()-1 {
+			break
+		}
+		m.lchans = append(m.lchans, ChanRef{Engine: e, Chan: e.Channel(ci)})
+	}
+	e0 := engines[0]
+	m.bchan = ChanRef{Engine: e0, Chan: e0.Channel(e0.NumChannels() - 1)}
+	return m
+}
+
+// Options returns the effective configuration.
+func (m *Manager) Options() ManagerOptions { return m.opts }
+
+// LChannels returns the latency-class channel set.
+func (m *Manager) LChannels() []ChanRef { return m.lchans }
+
+// BChannel returns the shared bandwidth-class channel.
+func (m *Manager) BChannel() ChanRef { return m.bchan }
+
+// BLimit returns the current B-app bandwidth budget (bytes/sec).
+func (m *Manager) BLimit() float64 { return m.bLimit }
+
+// SetBLimit fixes the budget (used by the non-adaptive Fig 12 setup).
+func (m *Manager) SetBLimit(v float64) { m.bLimit = v }
+
+// SuspendCount reports how many CHANCMD actions the manager issued.
+func (m *Manager) SuspendCount() int64 { return m.suspACC }
+
+// RegisterLApp adds a latency-critical app with the given SLO target.
+func (m *Manager) RegisterLApp(target sim.Duration) *LApp {
+	l := &LApp{Target: target}
+	m.lapps = append(m.lapps, l)
+	return l
+}
+
+// NextWriteChan picks an L channel round-robin for write traffic.
+func (m *Manager) NextWriteChan() ChanRef {
+	c := m.lchans[m.nextW%len(m.lchans)]
+	m.nextW++
+	return c
+}
+
+// ReadChanAdmission implements Listing 2: the first L channel with queue
+// depth < 2 admits the read; otherwise the caller falls back to memcpy.
+func (m *Manager) ReadChanAdmission() (ChanRef, bool) {
+	for _, c := range m.lchans {
+		if c.Chan.QueueDepth() < 2 {
+			return c, true
+		}
+	}
+	return ChanRef{}, false
+}
+
+// SplitB chops a bulk transfer into BSplit-sized descriptor pieces: B-app
+// I/O must be small enough that a mid-epoch channel suspension never
+// forces a large transfer to restart (§4.4).
+func (m *Manager) SplitB(write bool, pmOff int64, buf []byte, size int) []*dma.Desc {
+	split := m.opts.BSplit
+	var descs []*dma.Desc
+	for pos := 0; pos < size; pos += split {
+		n := size - pos
+		if n > split {
+			n = split
+		}
+		d := &dma.Desc{Write: write, PMOff: pmOff + int64(pos), Size: n}
+		if buf != nil {
+			d.Buf = buf[pos : pos+n]
+		}
+		descs = append(descs, d)
+	}
+	return descs
+}
+
+// Start launches the per-epoch QoS loop: Listing 1's limit adaptation plus
+// budget enforcement by suspending the B channel mid-epoch.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.epochBase = m.bchan.Chan.BytesCompleted()
+	m.eng.After(m.opts.Epoch, m.epochTick)
+	m.scheduleBudgetCheck()
+}
+
+// Stop halts the loop after the current epoch.
+func (m *Manager) Stop() { m.running = false }
+
+func (m *Manager) epochTick() {
+	if !m.running {
+		return
+	}
+	// Listing 1: find the minimum SLO slack across L-apps.
+	if m.opts.Adaptive {
+		min := 1.0
+		seen := false
+		for _, l := range m.lapps {
+			lat, ok := l.window()
+			if !ok {
+				continue
+			}
+			seen = true
+			slack := float64(l.Target-lat) / float64(l.Target)
+			if slack < min {
+				min = slack
+			}
+		}
+		if seen {
+			if min < 0 {
+				m.bLimit -= m.opts.Delta
+			} else if min > m.opts.SlackThreshold {
+				m.bLimit += m.opts.Delta
+			}
+			lo := float64(m.opts.BSplit) / m.opts.Epoch.Seconds() // ≥1 piece/epoch
+			if m.bLimit < lo {
+				m.bLimit = lo
+			}
+		}
+		m.BLimitHist = append(m.BLimitHist, m.bLimit)
+	}
+	// New epoch: reset the budget and resume the B channel.
+	m.epochBase = m.bchan.Chan.BytesCompleted()
+	if m.bchan.Chan.Suspended() {
+		m.bchan.Chan.Resume()
+		m.suspACC++
+	}
+	m.eng.After(m.opts.Epoch, m.epochTick)
+	m.scheduleBudgetCheck()
+}
+
+// scheduleBudgetCheck samples B-channel consumption 8 times per epoch and
+// suspends the channel once it exhausts this epoch's byte budget.
+func (m *Manager) scheduleBudgetCheck() {
+	step := m.opts.Epoch / 8
+	for i := 1; i < 8; i++ {
+		m.eng.After(sim.Duration(i)*step, func() {
+			if !m.running || m.bchan.Chan.Suspended() {
+				return
+			}
+			budget := int64(m.bLimit * m.opts.Epoch.Seconds())
+			if m.bchan.Chan.BytesCompleted()-m.epochBase >= budget {
+				m.bchan.Chan.Suspend()
+				m.suspACC++
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package crashmonkey
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/fsapi"
+)
+
+// The four Table 2 workloads. Sizes are chosen above the selective-offload
+// cutoff so writes exercise the orderless DMA path.
+
+func payload(tag byte, n int) []byte { return bytes.Repeat([]byte{tag}, n) }
+
+func writeOp(path string, tag byte, n int) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		f, err := fs.Open(t, path)
+		if err != nil {
+			return err
+		}
+		_, err = fs.WriteAt(t, f, 0, payload(tag, n))
+		return err
+	}
+}
+
+func appendOp(path string, tag byte, n int) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		f, err := fs.Open(t, path)
+		if err != nil {
+			return err
+		}
+		_, err = fs.Append(t, f, payload(tag, n))
+		return err
+	}
+}
+
+func createOp(path string) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		_, err := fs.Create(t, path)
+		return err
+	}
+}
+
+func unlinkOp(path string) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		return fs.Unlink(t, path)
+	}
+}
+
+func linkOp(old, new string) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		return fs.Link(t, old, new)
+	}
+}
+
+func renameOp(old, new string) Op {
+	return func(t *caladan.Task, fs fsapi.FileSystem) error {
+		return fs.Rename(t, old, new)
+	}
+}
+
+// CreateDelete is Table 2's create_delete: create, write, remove on
+// regular files.
+func CreateDelete() Workload {
+	var ops []Op
+	for i := 0; i < 3; i++ {
+		p := fmt.Sprintf("/cd-%d", i)
+		ops = append(ops,
+			createOp(p),
+			writeOp(p, byte('a'+i), 24<<10),
+			writeOp(p, byte('A'+i), 12<<10),
+			unlinkOp(p),
+		)
+	}
+	return Workload{
+		Name:        "create_delete",
+		Description: "create, write, remove on regular files",
+		Ops:         ops,
+	}
+}
+
+// Generic056 is Table 2's generic_056: create, write, link on regular
+// files.
+func Generic056() Workload {
+	return Workload{
+		Name:        "generic_056",
+		Description: "create, write, link on regular files",
+		Ops: []Op{
+			createOp("/g056"),
+			writeOp("/g056", 'x', 32<<10),
+			linkOp("/g056", "/g056-link"),
+			writeOp("/g056", 'y', 16<<10),
+			linkOp("/g056", "/g056-link2"),
+		},
+	}
+}
+
+// Generic090 is Table 2's generic_090: write, append, link on regular
+// files.
+func Generic090() Workload {
+	return Workload{
+		Name:        "generic_090",
+		Description: "write, append, link on regular files",
+		Setup: func(fs fsapi.FileSystem) error {
+			_, err := fs.Create(nil, "/g090")
+			return err
+		},
+		Ops: []Op{
+			writeOp("/g090", 'w', 20<<10),
+			appendOp("/g090", 'p', 16<<10),
+			linkOp("/g090", "/g090-link"),
+			appendOp("/g090", 'q', 8<<10),
+		},
+	}
+}
+
+// Generic322 is Table 2's generic_322: create, write, rename on regular
+// files.
+func Generic322() Workload {
+	return Workload{
+		Name:        "generic_322",
+		Description: "create, write, rename on regular files",
+		Setup: func(fs fsapi.FileSystem) error {
+			f, err := fs.Create(nil, "/g322-victim")
+			if err != nil {
+				return err
+			}
+			_, err = fs.WriteAt(nil, f, 0, payload('v', 8<<10))
+			return err
+		},
+		Ops: []Op{
+			createOp("/g322"),
+			writeOp("/g322", 'n', 24<<10),
+			renameOp("/g322", "/g322-renamed"),
+			createOp("/g322-b"),
+			writeOp("/g322-b", 'm', 16<<10),
+			renameOp("/g322-b", "/g322-victim"), // replacing rename
+		},
+	}
+}
+
+// All returns the Table 2 workload set.
+func All() []Workload {
+	return []Workload{CreateDelete(), Generic056(), Generic090(), Generic322()}
+}

@@ -1,0 +1,304 @@
+package dma
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+const testCBBase = 1 << 28
+
+func newEngine() (*sim.Engine, *pmem.Device, *Engine) {
+	se := sim.NewEngine()
+	dev := pmem.New(se, perfmodel.MicroNode(), 1<<30)
+	e := NewEngine(dev, 0, 8, testCBBase)
+	return se, dev, e
+}
+
+func TestWriteDescCompletesAndLands(t *testing.T) {
+	se, dev, e := newEngine()
+	ch := e.Channel(0)
+	data := []byte("durable payload")
+	var gotSN uint64
+	var doneAt sim.Time
+	sns, err := ch.Submit(&Desc{Write: true, PMOff: 1 << 20, Buf: data,
+		OnComplete: func(sn uint64) { gotSN = sn; doneAt = se.Now() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Run()
+	if gotSN != 1 || sns[0] != 1 {
+		t.Fatalf("sn = %d / %d, want 1", gotSN, sns[0])
+	}
+	if ch.DurableSN() != 1 {
+		t.Fatalf("durable SN = %d", ch.DurableSN())
+	}
+	got := make([]byte, len(data))
+	dev.ReadAt(got, 1<<20)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload = %q", got)
+	}
+	m := dev.Model()
+	want := float64(m.DMAStartup) + float64(len(data))/m.WriteCap*1e9
+	if math.Abs(float64(doneAt)-want) > 100 {
+		t.Fatalf("doneAt = %v, want ~%.0f", doneAt, want)
+	}
+}
+
+func TestReadDescCopiesOut(t *testing.T) {
+	se, dev, e := newEngine()
+	dev.WriteAt(4096, []byte("from pm"))
+	buf := make([]byte, 7)
+	done := false
+	e.Channel(1).Submit(&Desc{PMOff: 4096, Buf: buf, OnComplete: func(uint64) { done = true }})
+	se.Run()
+	if !done || string(buf) != "from pm" {
+		t.Fatalf("done=%v buf=%q", done, buf)
+	}
+}
+
+func TestFIFOCompletionOrder(t *testing.T) {
+	se, _, e := newEngine()
+	ch := e.Channel(0)
+	var order []uint64
+	for i := 0; i < 5; i++ {
+		ch.Submit(&Desc{Write: true, PMOff: int64(i) * 8192, Size: 4096,
+			OnComplete: func(sn uint64) { order = append(order, sn) }})
+	}
+	se.Run()
+	if len(order) != 5 {
+		t.Fatalf("completions = %v", order)
+	}
+	for i, sn := range order {
+		if sn != uint64(i+1) {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if ch.CompletedSN() != 5 || ch.DurableSN() != 5 {
+		t.Fatalf("completed=%d durable=%d", ch.CompletedSN(), ch.DurableSN())
+	}
+}
+
+func TestBatchSubmitAndSNs(t *testing.T) {
+	se, _, e := newEngine()
+	ch := e.Channel(2)
+	batch := []*Desc{
+		{Write: true, PMOff: 0, Size: 4096},
+		{Write: true, PMOff: 8192, Size: 4096},
+		{Write: true, PMOff: 16384, Size: 4096},
+	}
+	sns, err := ch.Submit(batch...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sns) != 3 || sns[0] != 1 || sns[2] != 3 {
+		t.Fatalf("sns = %v", sns)
+	}
+	if ch.QueueDepth() != 3 {
+		t.Fatalf("depth = %d", ch.QueueDepth())
+	}
+	se.Run()
+	if ch.QueueDepth() != 0 {
+		t.Fatalf("depth after run = %d", ch.QueueDepth())
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	_, _, e := newEngine()
+	ch := e.Channel(0)
+	for i := 0; i < RingSize; i++ {
+		if _, err := ch.Submit(&Desc{Write: true, Size: 64}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := ch.Submit(&Desc{Write: true, Size: 64}); err != ErrRingFull {
+		t.Fatalf("err = %v, want ErrRingFull", err)
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	// A 64 KB descriptor behind a 2 MB one waits for the bulk transfer:
+	// the root cause of DMA-SH jitter in Fig 4.
+	se, _, e := newEngine()
+	shared := e.Channel(0)
+	var bulkDone, smallDone sim.Time
+	shared.Submit(&Desc{Write: true, PMOff: 0, Size: 2 << 20, OnComplete: func(uint64) { bulkDone = se.Now() }})
+	shared.Submit(&Desc{Write: true, PMOff: 4 << 20, Size: 64 << 10, OnComplete: func(uint64) { smallDone = se.Now() }})
+	se.Run()
+	if smallDone <= bulkDone {
+		t.Fatalf("small finished before bulk: %v vs %v", smallDone, bulkDone)
+	}
+	// On a separate channel the small transfer is far faster.
+	se2, _, e2 := newEngine()
+	var soloDone sim.Time
+	e2.Channel(1).Submit(&Desc{Write: true, PMOff: 4 << 20, Size: 64 << 10, OnComplete: func(uint64) { soloDone = se2.Now() }})
+	se2.Run()
+	if float64(smallDone) < 3*float64(soloDone) {
+		t.Fatalf("HOL blocking too weak: shared %v vs solo %v", smallDone, soloDone)
+	}
+}
+
+func TestSuspendBeforeStart(t *testing.T) {
+	se, _, e := newEngine()
+	ch := e.Channel(0)
+	ch.Suspend()
+	done := false
+	ch.Submit(&Desc{Write: true, Size: 4096, OnComplete: func(uint64) { done = true }})
+	se.RunFor(10 * sim.Millisecond)
+	if done {
+		t.Fatal("suspended channel processed a descriptor")
+	}
+	ch.Resume()
+	se.Run()
+	if !done {
+		t.Fatal("resume did not restart processing")
+	}
+}
+
+func TestSuspendEarlyRestartsDescriptor(t *testing.T) {
+	// Suspend at <50% progress: the descriptor restarts from scratch on
+	// resume, so total time exceeds suspend duration + full transfer.
+	m := perfmodel.MicroNode()
+	full := sim.Duration(float64(2<<20)/m.WriteCap*1e9) + m.DMAStartup
+
+	se, _, e := newEngine()
+	ch := e.Channel(0)
+	var doneAt sim.Time
+	ch.Submit(&Desc{Write: true, Size: 2 << 20, OnComplete: func(uint64) { doneAt = se.Now() }})
+	quarter := sim.Duration(float64(full) * 0.25)
+	se.After(quarter, func() { ch.Suspend() })
+	resumeAt := sim.Duration(float64(full) * 2)
+	se.After(resumeAt, func() { ch.Resume() })
+	se.Run()
+	// Restarted: completes ~full after resume, not before.
+	if doneAt < sim.Time(resumeAt)+sim.Time(float64(full)*0.9) {
+		t.Fatalf("descriptor did not restart: done at %v, resume at %v, full %v", doneAt, resumeAt, full)
+	}
+}
+
+func TestSuspendLateRunsToCompletion(t *testing.T) {
+	m := perfmodel.MicroNode()
+	full := sim.Duration(float64(2<<20)/m.WriteCap*1e9) + m.DMAStartup
+
+	se, _, e := newEngine()
+	ch := e.Channel(0)
+	var firstDone, secondDone sim.Time
+	ch.Submit(&Desc{Write: true, Size: 2 << 20, OnComplete: func(uint64) { firstDone = se.Now() }})
+	ch.Submit(&Desc{Write: true, PMOff: 8 << 20, Size: 4096, OnComplete: func(uint64) { secondDone = se.Now() }})
+	// Suspend at 80% progress of the first descriptor.
+	se.After(sim.Duration(float64(full)*0.8), func() { ch.Suspend() })
+	resumeAt := sim.Time(float64(full) * 5)
+	se.At(resumeAt, func() { ch.Resume() })
+	se.Run()
+	if firstDone == 0 || firstDone > sim.Time(float64(full)*1.1) {
+		t.Fatalf("late-suspended descriptor did not run to completion: %v (full %v)", firstDone, full)
+	}
+	if secondDone < resumeAt {
+		t.Fatalf("queued descriptor ran while suspended: %v < %v", secondDone, resumeAt)
+	}
+}
+
+func TestDurableSNWraparound(t *testing.T) {
+	se, _, e := newEngine()
+	ch := e.Channel(0)
+	n := RingSize + 44
+	done := 0
+	for i := 0; i < n; i++ {
+		// Submit in waves to stay within the ring.
+		i := i
+		se.After(sim.Duration(i)*10*sim.Microsecond, func() {
+			ch.Submit(&Desc{Write: true, PMOff: int64(i) * 4096, Size: 512,
+				OnComplete: func(uint64) { done++ }})
+		})
+	}
+	se.Run()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if got := ch.DurableSN(); got != uint64(n) {
+		t.Fatalf("durable SN = %d, want %d (ADDR/CNT wraparound broken)", got, n)
+	}
+}
+
+func TestBytesCompleted(t *testing.T) {
+	se, _, e := newEngine()
+	ch := e.Channel(3)
+	ch.Submit(&Desc{Write: true, Size: 1000}, &Desc{Write: true, PMOff: 4096, Size: 500})
+	se.Run()
+	if ch.BytesCompleted() != 1500 {
+		t.Fatalf("bytes = %d", ch.BytesCompleted())
+	}
+}
+
+func TestCompletionBufferIsPersistent(t *testing.T) {
+	se, dev, e := newEngine()
+	dev.EnableTracking()
+	ch := e.Channel(0)
+	data := []byte("abcd")
+	ch.Submit(&Desc{Write: true, PMOff: 1 << 20, Buf: data})
+	se.Run()
+	// Crash after everything persisted: both payload and CB survive.
+	recs := dev.Records()
+	all := make([]int, len(recs))
+	for i := range all {
+		all[i] = i
+	}
+	img := dev.CrashImage(all)
+	imgCh := NewEngine(img, 0, 8, testCBBase).Channel(0)
+	if imgCh.DurableSN() != 1 {
+		t.Fatalf("post-crash durable SN = %d", imgCh.DurableSN())
+	}
+	got := make([]byte, 4)
+	img.ReadAt(got, 1<<20)
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload not durable")
+	}
+}
+
+func TestDataDurableBeforeCompletionBuffer(t *testing.T) {
+	// The fence ordering guarantees: any crash image where the CB shows
+	// SN=1 also contains the payload.
+	se, dev, e := newEngine()
+	dev.EnableTracking()
+	ch := e.Channel(0)
+	data := []byte{0xAA, 0xBB}
+	ch.Submit(&Desc{Write: true, PMOff: 0, Buf: data})
+	se.Run()
+	bounds := dev.EpochBounds()
+	// Replay prefixes epoch by epoch; whenever CB reads 1, data must be
+	// present.
+	for e2 := 0; e2 < len(bounds)-1; e2++ {
+		var applied []int
+		for i := 0; i < bounds[e2+1]; i++ {
+			applied = append(applied, i)
+		}
+		img := dev.CrashImage(applied)
+		sn := NewEngine(img, 0, 8, testCBBase).Channel(0).DurableSN()
+		if sn >= 1 {
+			got := make([]byte, 2)
+			img.ReadAt(got, 0)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("CB visible before data durable (epoch cut %d)", e2)
+			}
+		}
+	}
+}
+
+func TestSuspendResumeIdempotent(t *testing.T) {
+	_, _, e := newEngine()
+	ch := e.Channel(0)
+	ch.Suspend()
+	ch.Suspend()
+	if !ch.Suspended() {
+		t.Fatal("not suspended")
+	}
+	ch.Resume()
+	ch.Resume()
+	if ch.Suspended() {
+		t.Fatal("still suspended")
+	}
+}

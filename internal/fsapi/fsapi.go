@@ -1,0 +1,32 @@
+// Package fsapi defines the filesystem interface shared by every system
+// under test (NOVA, NOVA-DMA, Odinfs, EasyIO and its Naive ablation), so
+// workload generators and applications are written once.
+package fsapi
+
+import (
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/nova"
+)
+
+// FileSystem is the POSIX-ish surface the workloads exercise. All methods
+// charge virtual CPU/device time against the calling task (nil task means
+// functional-only, for setup).
+type FileSystem interface {
+	Create(t *caladan.Task, path string) (*nova.File, error)
+	Open(t *caladan.Task, path string) (*nova.File, error)
+	OpenOrCreate(t *caladan.Task, path string) (*nova.File, error)
+	ReadAt(t *caladan.Task, f *nova.File, off int64, buf []byte) (int, error)
+	WriteAt(t *caladan.Task, f *nova.File, off int64, data []byte) (int, error)
+	Append(t *caladan.Task, f *nova.File, data []byte) (int, error)
+	Truncate(t *caladan.Task, f *nova.File, size int64) error
+	Unlink(t *caladan.Task, path string) error
+	Rename(t *caladan.Task, oldpath, newpath string) error
+	Link(t *caladan.Task, oldpath, newpath string) error
+	Mkdir(t *caladan.Task, path string) error
+	Stat(t *caladan.Task, path string) (nova.Stat, error)
+	Fsync(t *caladan.Task, f *nova.File) error
+}
+
+// Var ensures nova.FS satisfies the interface; EasyIO and Odinfs embed it
+// and override the data paths.
+var _ FileSystem = (*nova.FS)(nil)

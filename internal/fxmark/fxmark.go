@@ -1,0 +1,204 @@
+// Package fxmark reimplements the FxMark microbenchmark generators
+// [USENIX ATC '16] the paper evaluates with (§6.1-6.2): data-path
+// operations at tunable I/O sizes, worker counts and sharing levels.
+//
+// Implemented workloads:
+//
+//	DWAL - each worker appends to a private file (write, low sharing)
+//	DRBL - each worker reads blocks of a private file (read, low sharing)
+//	DWOM - all workers overwrite blocks of one shared file (medium sharing)
+//	DRBM - all workers read blocks of one shared file (medium sharing)
+package fxmark
+
+import (
+	"fmt"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/fsapi"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+	"github.com/easyio-sim/easyio/internal/stats"
+)
+
+// Workload selects the FxMark personality.
+type Workload string
+
+// The implemented FxMark personalities.
+const (
+	DWAL Workload = "DWAL"
+	DRBL Workload = "DRBL"
+	DWOM Workload = "DWOM"
+	DRBM Workload = "DRBM"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Workload Workload
+	// Cores is the number of worker cores ([0, Cores) of the runtime).
+	Cores int
+	// Uthreads is the number of worker uthreads (default Cores; the
+	// paper uses 2x cores for EasyIO).
+	Uthreads int
+	// IOSize is the per-operation transfer size.
+	IOSize int
+	// FileSize is the working-set size per file (reads/overwrites).
+	// Default 4 MB.
+	FileSize int64
+	// AppendCap bounds DWAL file growth; the file is truncated (untimed)
+	// when it exceeds the cap. Default 16 MB.
+	AppendCap int64
+	// Warmup and Measure bound the run. Defaults 2 ms / 20 ms.
+	Warmup, Measure sim.Duration
+	// Seed drives offset choice.
+	Seed uint64
+	// PostOp, if set, runs after each operation (used by latency probes
+	// and the real-world app wrappers).
+	PostOp func(t *caladan.Task)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Uthreads == 0 {
+		c.Uthreads = c.Cores
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 4 << 20
+	}
+	if c.AppendCap == 0 {
+		c.AppendCap = 16 << 20
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops   int64
+	Bytes int64
+	Lat   stats.Recorder
+	Span  sim.Duration
+}
+
+// Throughput returns operations per second over the measure window.
+func (r *Result) Throughput() float64 { return stats.Throughput(int(r.Ops), r.Span) }
+
+// Bandwidth returns GB/s moved over the measure window.
+func (r *Result) Bandwidth() float64 { return stats.GBps(r.Bytes, r.Span) }
+
+// Run executes the workload on fs over rt's cores [0, cfg.Cores) and
+// blocks (in wall time) until the virtual run completes. The caller owns
+// the engine and must have created rt; Run spawns the workers, drives the
+// engine to the end of the measure window, and returns the result.
+func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Span: cfg.Measure}
+	g := rng.New(cfg.Seed ^ 0xf8a1)
+
+	// Functional setup (untimed): pre-create the files.
+	shared := cfg.Workload == DWOM || cfg.Workload == DRBM
+	var sharedFile *nova.File
+	if shared {
+		f, err := fs.Create(nil, "/fxmark-shared")
+		if err != nil {
+			return nil, err
+		}
+		if err := prefill(fs, f, cfg.FileSize); err != nil {
+			return nil, err
+		}
+		sharedFile = f
+	}
+	files := make([]*nova.File, cfg.Uthreads)
+	if !shared {
+		for i := range files {
+			f, err := fs.Create(nil, fmt.Sprintf("/fxmark-%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Workload == DRBL {
+				if err := prefill(fs, f, cfg.FileSize); err != nil {
+					return nil, err
+				}
+			}
+			files[i] = f
+		}
+	}
+
+	start := eng.Now()
+	warmEnd := start + sim.Time(cfg.Warmup)
+	end := warmEnd + sim.Time(cfg.Measure)
+	buf := make([]byte, cfg.IOSize)
+
+	for i := 0; i < cfg.Uthreads; i++ {
+		i := i
+		wg := g.Fork(uint64(i))
+		rt.Spawn(i%cfg.Cores, fmt.Sprintf("fx-%d", i), func(task *caladan.Task) {
+			f := sharedFile
+			if !shared {
+				f = files[i]
+			}
+			appendPos := int64(0)
+			myBuf := make([]byte, cfg.IOSize)
+			for task.Now() < end {
+				opStart := task.Now()
+				switch cfg.Workload {
+				case DWAL:
+					fs.Append(task, f, myBuf)
+					appendPos += int64(cfg.IOSize)
+					if appendPos > cfg.AppendCap {
+						fs.Truncate(task, f, 0)
+						appendPos = 0
+						continue // maintenance op: not timed
+					}
+				case DRBL, DRBM:
+					off := alignedOff(wg, cfg.FileSize, cfg.IOSize)
+					fs.ReadAt(task, f, off, myBuf)
+				case DWOM:
+					off := alignedOff(wg, cfg.FileSize, cfg.IOSize)
+					fs.WriteAt(task, f, off, myBuf)
+				default:
+					panic("fxmark: unknown workload " + string(cfg.Workload))
+				}
+				if task.Now() > warmEnd && opStart >= warmEnd {
+					res.Ops++
+					res.Bytes += int64(cfg.IOSize)
+					res.Lat.Add(sim.Duration(task.Now() - opStart))
+				}
+				if cfg.PostOp != nil {
+					cfg.PostOp(task)
+				}
+			}
+		})
+	}
+	_ = buf
+	eng.RunUntil(end)
+	return res, nil
+}
+
+// prefill functionally sizes a file (ephemeral-aware: metadata only).
+func prefill(fs fsapi.FileSystem, f *nova.File, size int64) error {
+	const chunk = 1 << 20
+	b := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := fs.WriteAt(nil, f, off, b[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func alignedOff(g *rng.Rand, fileSize int64, ioSize int) int64 {
+	slots := fileSize / int64(ioSize)
+	if slots <= 0 {
+		return 0
+	}
+	return g.Int63n(slots) * int64(ioSize)
+}

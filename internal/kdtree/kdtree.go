@@ -1,0 +1,182 @@
+// Package kdtree is a k-dimensional tree for nearest-neighbour search,
+// backing the KNN application of §6.3 (the paper uses jtsiomb/kdtree).
+package kdtree
+
+import "sort"
+
+// Point is a k-dimensional vertex with an opaque payload ID.
+type Point struct {
+	Coords []float64
+	ID     int
+}
+
+type node struct {
+	p           Point
+	axis        int
+	left, right *node
+}
+
+// Tree is an immutable k-d tree built from a point set.
+type Tree struct {
+	root *node
+	k    int
+	size int
+}
+
+// Build constructs a balanced tree (median splits) over the points.
+// All points must share the same dimensionality.
+func Build(points []Point) *Tree {
+	if len(points) == 0 {
+		return &Tree{}
+	}
+	k := len(points[0].Coords)
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	t := &Tree{k: k, size: len(pts)}
+	t.root = build(pts, 0, k)
+	return t
+}
+
+func build(pts []Point, depth, k int) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % k
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[axis] < pts[j].Coords[axis] })
+	mid := len(pts) / 2
+	return &node{
+		p:     pts[mid],
+		axis:  axis,
+		left:  build(pts[:mid], depth+1, k),
+		right: build(pts[mid+1:], depth+1, k),
+	}
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return t.size }
+
+// K returns the dimensionality.
+func (t *Tree) K() int { return t.k }
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Nearest returns the closest point to q and its squared distance.
+// ok is false for an empty tree.
+func (t *Tree) Nearest(q []float64) (Point, float64, bool) {
+	if t.root == nil {
+		return Point{}, 0, false
+	}
+	best := t.root.p
+	bestD := sqDist(q, best.Coords)
+	t.root.nearest(q, &best, &bestD)
+	return best, bestD, true
+}
+
+func (n *node) nearest(q []float64, best *Point, bestD *float64) {
+	if n == nil {
+		return
+	}
+	if d := sqDist(q, n.p.Coords); d < *bestD {
+		*bestD = d
+		*best = n.p
+	}
+	diff := q[n.axis] - n.p.Coords[n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	near.nearest(q, best, bestD)
+	if diff*diff < *bestD {
+		far.nearest(q, best, bestD)
+	}
+}
+
+// KNN returns the k nearest points to q, closest first.
+func (t *Tree) KNN(q []float64, k int) []Point {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	t.root.knn(q, k, h)
+	out := make([]Point, len(h.items))
+	// Extract in ascending distance order.
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.pop().p
+	}
+	return out
+}
+
+func (n *node) knn(q []float64, k int, h *maxHeap) {
+	if n == nil {
+		return
+	}
+	d := sqDist(q, n.p.Coords)
+	if h.len() < k {
+		h.push(heapItem{p: n.p, d: d})
+	} else if d < h.top().d {
+		h.pop()
+		h.push(heapItem{p: n.p, d: d})
+	}
+	diff := q[n.axis] - n.p.Coords[n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	near.knn(q, k, h)
+	if h.len() < k || diff*diff < h.top().d {
+		far.knn(q, k, h)
+	}
+}
+
+// maxHeap keeps the current k best candidates with the worst on top.
+type heapItem struct {
+	p Point
+	d float64
+}
+
+type maxHeap struct{ items []heapItem }
+
+func (h *maxHeap) len() int      { return len(h.items) }
+func (h *maxHeap) top() heapItem { return h.items[0] }
+func (h *maxHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d >= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+func (h *maxHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.items) && h.items[l].d > h.items[big].d {
+			big = l
+		}
+		if r < len(h.items) && h.items[r].d > h.items[big].d {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+	return top
+}

@@ -1,0 +1,109 @@
+package kdtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/easyio-sim/easyio/internal/rng"
+)
+
+func randPoints(g *rng.Rand, n, k int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		c := make([]float64, k)
+		for j := range c {
+			c[j] = g.Float64() * 100
+		}
+		pts[i] = Point{Coords: c, ID: i}
+	}
+	return pts
+}
+
+func bruteNearest(pts []Point, q []float64) (Point, float64) {
+	best, bestD := pts[0], sqDist(q, pts[0].Coords)
+	for _, p := range pts[1:] {
+		if d := sqDist(q, p.Coords); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, bestD
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if _, _, ok := tr.Nearest([]float64{1, 2}); ok {
+		t.Fatal("nearest on empty tree returned ok")
+	}
+	if got := tr.KNN([]float64{1, 2}, 3); got != nil {
+		t.Fatal("KNN on empty tree returned points")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		k := 2 + g.Intn(3)
+		pts := randPoints(g, 1+g.Intn(300), k)
+		tr := Build(pts)
+		for trial := 0; trial < 10; trial++ {
+			q := make([]float64, k)
+			for j := range q {
+				q[j] = g.Float64() * 100
+			}
+			_, gotD, ok := tr.Nearest(q)
+			if !ok {
+				return false
+			}
+			_, wantD := bruteNearest(pts, q)
+			if gotD != wantD {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	g := rng.New(42)
+	pts := randPoints(g, 500, 3)
+	tr := Build(pts)
+	q := []float64{50, 50, 50}
+	const K = 8
+	got := tr.KNN(q, K)
+	if len(got) != K {
+		t.Fatalf("got %d points", len(got))
+	}
+	// Brute-force distances.
+	dists := make([]float64, len(pts))
+	for i, p := range pts {
+		dists[i] = sqDist(q, p.Coords)
+	}
+	sort.Float64s(dists)
+	for i, p := range got {
+		if d := sqDist(q, p.Coords); d != dists[i] {
+			t.Fatalf("rank %d: dist %v, want %v", i, d, dists[i])
+		}
+	}
+}
+
+func TestKNNAskMoreThanSize(t *testing.T) {
+	g := rng.New(7)
+	pts := randPoints(g, 5, 2)
+	tr := Build(pts)
+	got := tr.KNN([]float64{0, 0}, 10)
+	if len(got) != 5 {
+		t.Fatalf("got %d, want all 5", len(got))
+	}
+}
+
+func TestLenAndK(t *testing.T) {
+	g := rng.New(3)
+	tr := Build(randPoints(g, 17, 4))
+	if tr.Len() != 17 || tr.K() != 4 {
+		t.Fatalf("len=%d k=%d", tr.Len(), tr.K())
+	}
+}

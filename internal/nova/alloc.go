@@ -1,0 +1,105 @@
+package nova
+
+// Run is a contiguous extent of data blocks on the device.
+type Run struct {
+	Off   int64 // device byte offset, BlockSize-aligned
+	Pages int
+}
+
+// Bytes returns the run length in bytes.
+func (r Run) Bytes() int64 { return int64(r.Pages) * BlockSize }
+
+// allocator is the DRAM free-block tracker. Like NOVA's, it is volatile:
+// the persistent truth is the set of blocks reachable from inode logs, and
+// mount rebuilds it.
+type allocator struct {
+	dataOff int64
+	nblocks int64
+	used    []bool
+	hint    int64
+	free    int64
+}
+
+func newAllocator(dataOff, devSize int64) *allocator {
+	n := (devSize - dataOff) / BlockSize
+	return &allocator{
+		dataOff: dataOff,
+		nblocks: n,
+		used:    make([]bool, n),
+		free:    n,
+	}
+}
+
+// FreeBlocks reports the number of unallocated blocks.
+func (a *allocator) FreeBlocks() int64 { return a.free }
+
+// allocRun finds one contiguous run of up to want pages (first fit from
+// the rotating hint). ok is false when the device is full.
+func (a *allocator) allocRun(want int) (Run, bool) {
+	if a.free == 0 || want <= 0 {
+		return Run{}, false
+	}
+	start := a.hint
+	for scanned := int64(0); scanned < a.nblocks; {
+		i := (start + scanned) % a.nblocks
+		if a.used[i] {
+			scanned++
+			continue
+		}
+		// Extend the run.
+		n := int64(0)
+		for i+n < a.nblocks && n < int64(want) && !a.used[i+n] {
+			n++
+		}
+		for k := int64(0); k < n; k++ {
+			a.used[i+k] = true
+		}
+		a.free -= n
+		a.hint = (i + n) % a.nblocks
+		return Run{Off: a.dataOff + i*BlockSize, Pages: int(n)}, true
+	}
+	return Run{}, false
+}
+
+// alloc satisfies pages blocks as a list of runs (contiguous when
+// possible). ok is false when space runs out; partial allocations are
+// rolled back.
+func (a *allocator) alloc(pages int) ([]Run, bool) {
+	var runs []Run
+	got := 0
+	for got < pages {
+		r, ok := a.allocRun(pages - got)
+		if !ok {
+			for _, u := range runs {
+				a.freeRun(u)
+			}
+			return nil, false
+		}
+		runs = append(runs, r)
+		got += r.Pages
+	}
+	return runs, true
+}
+
+// freeRun returns a run to the pool.
+func (a *allocator) freeRun(r Run) {
+	i := (r.Off - a.dataOff) / BlockSize
+	for k := int64(0); k < int64(r.Pages); k++ {
+		if !a.used[i+k] {
+			panic("nova: double free of block")
+		}
+		a.used[i+k] = false
+	}
+	a.free += int64(r.Pages)
+}
+
+// markUsed claims blocks during recovery.
+func (a *allocator) markUsed(off int64, pages int) {
+	i := (off - a.dataOff) / BlockSize
+	for k := int64(0); k < int64(pages); k++ {
+		if !a.used[i+k] {
+			a.used[i+k] = true
+			a.free--
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package nova
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// newFS formats and mounts a small filesystem with the CPU mover.
+func newFS(t *testing.T) (*sim.Engine, *pmem.Device, *FS) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), 256<<20)
+	opts := Options{NumInodes: 1024}
+	if err := Mkfs(dev, opts); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(dev, CPUMover{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dev, fs
+}
+
+func TestCreateOpenStat(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, err := fs.Create(nil, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 {
+		t.Fatal("new file not empty")
+	}
+	if _, err := fs.Create(nil, "/a"); err != ErrExist {
+		t.Fatalf("double create: %v", err)
+	}
+	if _, err := fs.Open(nil, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(nil, "/missing"); err != ErrNotExist {
+		t.Fatalf("open missing: %v", err)
+	}
+	st, err := fs.Stat(nil, "/a")
+	if err != nil || st.Kind != KindFile || st.Nlink != 1 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	data := make([]byte, 10000)
+	rng.New(1).Bytes(data)
+	n, err := fs.WriteAt(nil, f, 0, data)
+	if err != nil || n != len(data) {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got := make([]byte, len(data))
+	n, err = fs.ReadAt(nil, f, 0, got)
+	if err != nil || n != len(data) {
+		t.Fatalf("read: %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestUnalignedOverwrite(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	base := make([]byte, 3*BlockSize)
+	for i := range base {
+		base[i] = 'A'
+	}
+	fs.WriteAt(nil, f, 0, base)
+	// Overwrite an unaligned interior range: CoW must preserve edges.
+	patch := []byte("hello-unaligned-world")
+	off := int64(BlockSize - 7)
+	fs.WriteAt(nil, f, off, patch)
+	got := make([]byte, 3*BlockSize)
+	fs.ReadAt(nil, f, 0, got)
+	want := append([]byte{}, base...)
+	copy(want[off:], patch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("unaligned CoW overwrite corrupted data")
+	}
+}
+
+func TestAppendGrowsFile(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/log")
+	for i := 0; i < 10; i++ {
+		fs.Append(nil, f, []byte("0123456789"))
+	}
+	if f.Size() != 100 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got := make([]byte, 100)
+	fs.ReadAt(nil, f, 0, got)
+	for i := 0; i < 100; i++ {
+		if got[i] != byte('0'+i%10) {
+			t.Fatalf("append content wrong at %d: %c", i, got[i])
+		}
+	}
+}
+
+func TestReadPastEOFAndHoles(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	fs.WriteAt(nil, f, 2*BlockSize, []byte("tail"))
+	// Hole in pages 0-1 reads as zeros.
+	got := make([]byte, 2*BlockSize+4)
+	n, _ := fs.ReadAt(nil, f, 0, got)
+	if n != 2*BlockSize+4 {
+		t.Fatalf("n = %d", n)
+	}
+	for i := 0; i < 2*BlockSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %d", i, got[i])
+		}
+	}
+	if string(got[2*BlockSize:]) != "tail" {
+		t.Fatal("tail data wrong")
+	}
+	// Read past EOF truncates.
+	n, _ = fs.ReadAt(nil, f, f.Size()-2, make([]byte, 100))
+	if n != 2 {
+		t.Fatalf("EOF read n = %d", n)
+	}
+	n, _ = fs.ReadAt(nil, f, f.Size()+10, make([]byte, 10))
+	if n != 0 {
+		t.Fatalf("past-EOF read n = %d", n)
+	}
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	_, _, fs := newFS(t)
+	before := fs.FreeBlocks()
+	f, _ := fs.Create(nil, "/big")
+	fs.WriteAt(nil, f, 0, make([]byte, 64*BlockSize))
+	if fs.FreeBlocks() >= before {
+		t.Fatal("write consumed no blocks")
+	}
+	if err := fs.Unlink(nil, "/big"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeBlocks() != before {
+		t.Fatalf("unlink leaked: %d != %d", fs.FreeBlocks(), before)
+	}
+	if _, err := fs.Open(nil, "/big"); err != ErrNotExist {
+		t.Fatalf("open after unlink: %v", err)
+	}
+}
+
+func TestOverwriteFreesOldBlocks(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	fs.WriteAt(nil, f, 0, make([]byte, 16*BlockSize))
+	free1 := fs.FreeBlocks()
+	for i := 0; i < 10; i++ {
+		fs.WriteAt(nil, f, 0, make([]byte, 16*BlockSize))
+	}
+	// CoW must free replaced blocks: allow slack for extra log pages.
+	if free1-fs.FreeBlocks() > 2 {
+		t.Fatalf("CoW leaked blocks: %d -> %d", free1, fs.FreeBlocks())
+	}
+}
+
+func TestMkdirAndNesting(t *testing.T) {
+	_, _, fs := newFS(t)
+	if err := fs.Mkdir(nil, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(nil, "/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(nil, "/d/e/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteAt(nil, f, 0, []byte("nested"))
+	names, err := fs.Readdir(nil, "/d/e")
+	if err != nil || len(names) != 1 || names[0] != "file" {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	if err := fs.Rmdir(nil, "/d"); err != ErrNotEmpty {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	fs.Unlink(nil, "/d/e/file")
+	fs.Rmdir(nil, "/d/e")
+	if err := fs.Rmdir(nil, "/d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameSameDir(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/old")
+	fs.WriteAt(nil, f, 0, []byte("content"))
+	if err := fs.Rename(nil, "/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(nil, "/old"); err != ErrNotExist {
+		t.Fatal("old name still resolves")
+	}
+	g, err := fs.Open(nil, "/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	fs.ReadAt(nil, g, 0, buf)
+	if string(buf) != "content" {
+		t.Fatalf("content = %q", buf)
+	}
+}
+
+func TestRenameCrossDirWithReplace(t *testing.T) {
+	_, _, fs := newFS(t)
+	fs.Mkdir(nil, "/src")
+	fs.Mkdir(nil, "/dst")
+	f, _ := fs.Create(nil, "/src/a")
+	fs.WriteAt(nil, f, 0, []byte("AAA"))
+	victim, _ := fs.Create(nil, "/dst/b")
+	fs.WriteAt(nil, victim, 0, make([]byte, 8*BlockSize))
+	free := fs.FreeBlocks()
+	if err := fs.Rename(nil, "/src/a", "/dst/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeBlocks() <= free {
+		t.Fatal("replaced file's blocks not freed")
+	}
+	g, _ := fs.Open(nil, "/dst/b")
+	buf := make([]byte, 3)
+	fs.ReadAt(nil, g, 0, buf)
+	if string(buf) != "AAA" {
+		t.Fatalf("content = %q", buf)
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/a")
+	fs.WriteAt(nil, f, 0, []byte("shared"))
+	if err := fs.Link(nil, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Stat(nil, "/a")
+	if st.Nlink != 2 {
+		t.Fatalf("nlink = %d", st.Nlink)
+	}
+	fs.Unlink(nil, "/a")
+	g, err := fs.Open(nil, "/b")
+	if err != nil {
+		t.Fatal("link target lost after unlinking one name")
+	}
+	buf := make([]byte, 6)
+	fs.ReadAt(nil, g, 0, buf)
+	if string(buf) != "shared" {
+		t.Fatalf("content = %q", buf)
+	}
+	fs.Unlink(nil, "/b")
+	if _, err := fs.Open(nil, "/b"); err != ErrNotExist {
+		t.Fatal("file survived last unlink")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, _, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	fs.WriteAt(nil, f, 0, make([]byte, 4*BlockSize))
+	free := fs.FreeBlocks()
+	fs.Truncate(nil, f, BlockSize+10)
+	if f.Size() != BlockSize+10 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if fs.FreeBlocks() <= free {
+		t.Fatal("truncate freed nothing")
+	}
+}
+
+func TestRemountRebuildsState(t *testing.T) {
+	_, dev, fs := newFS(t)
+	data := make([]byte, 3*BlockSize+100)
+	rng.New(2).Bytes(data)
+	f, _ := fs.Create(nil, "/dir-less-file")
+	fs.WriteAt(nil, f, 0, data)
+	fs.Mkdir(nil, "/d")
+	g, _ := fs.Create(nil, "/d/child")
+	fs.Append(nil, g, []byte("child-data"))
+	fs.Link(nil, "/d/child", "/d/link")
+	free := fs.FreeBlocks()
+
+	fs2, err := Mount(dev, CPUMover{}, Options{NumInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.Open(nil, "/dir-less-file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	fs2.ReadAt(nil, f2, 0, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("data lost across remount")
+	}
+	st, err := fs2.Stat(nil, "/d/link")
+	if err != nil || st.Nlink != 2 {
+		t.Fatalf("link state lost: %+v, %v", st, err)
+	}
+	if fs2.FreeBlocks() != free {
+		t.Fatalf("allocator rebuild mismatch: %d != %d", fs2.FreeBlocks(), free)
+	}
+	buf := make([]byte, 10)
+	g2, _ := fs2.Open(nil, "/d/child")
+	fs2.ReadAt(nil, g2, 0, buf)
+	if string(buf) != "child-data" {
+		t.Fatalf("child data = %q", buf)
+	}
+}
+
+func TestLogSpansMultiplePages(t *testing.T) {
+	_, dev, fs := newFS(t)
+	f, _ := fs.Create(nil, "/f")
+	// Each small write appends a ~54B entry; hundreds of writes span
+	// several log pages.
+	var want []byte
+	for i := 0; i < 500; i++ {
+		chunk := []byte{byte(i), byte(i >> 8)}
+		fs.Append(nil, f, chunk)
+		want = append(want, chunk...)
+	}
+	got := make([]byte, len(want))
+	fs.ReadAt(nil, f, 0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("multi-page log content mismatch")
+	}
+	// Remount replays the full chain.
+	fs2, err := Mount(dev, CPUMover{}, Options{NumInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := fs2.Open(nil, "/f")
+	got2 := make([]byte, len(want))
+	fs2.ReadAt(nil, f2, 0, got2)
+	if !bytes.Equal(got2, want) {
+		t.Fatal("multi-page log lost on remount")
+	}
+}
+
+func TestWriteTimingMatchesModel(t *testing.T) {
+	// A 64 KB single-threaded write should take roughly Fig 1's latency:
+	// syscall + indexing + alloc + memcpy(64K @ CPUWriteRate) + metadata.
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), 256<<20)
+	Mkfs(dev, Options{NumInodes: 256})
+	fs, _ := Mount(dev, CPUMover{}, Options{NumInodes: 256})
+	rt := caladan.New(eng, caladan.Options{Cores: 1})
+	var dur sim.Duration
+	rt.Spawn(0, "test", func(task *caladan.Task) {
+		f, _ := fs.Create(task, "/f")
+		start := task.Now()
+		fs.WriteAt(task, f, 0, make([]byte, 64<<10))
+		dur = sim.Duration(task.Now() - start)
+	})
+	eng.Run()
+	eng.Shutdown()
+	m := perfmodel.System()
+	memcpy := sim.Duration(float64(64<<10) / m.CPUWriteRate * 1e9)
+	if dur < memcpy || dur > memcpy+8*sim.Microsecond {
+		t.Fatalf("64K write latency = %v, memcpy alone = %v", dur, memcpy)
+	}
+	frac := float64(memcpy) / float64(dur)
+	if frac < 0.55 || frac > 0.85 {
+		t.Fatalf("memcpy share = %.2f, want ~0.63 (Fig 1)", frac)
+	}
+}
+
+func TestPropertyRandomWritesMatchShadow(t *testing.T) {
+	// Property: an arbitrary sequence of writes/appends/truncates over one
+	// file matches a shadow byte-slice model.
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		_, _, fs := newFS(t)
+		file, _ := fs.Create(nil, "/f")
+		shadow := []byte{}
+		for op := 0; op < 40; op++ {
+			switch g.Intn(3) {
+			case 0: // WriteAt
+				n := 1 + g.Intn(3*BlockSize)
+				off := g.Int63n(int64(len(shadow)) + BlockSize)
+				data := make([]byte, n)
+				g.Bytes(data)
+				fs.WriteAt(nil, file, off, data)
+				if need := off + int64(n); need > int64(len(shadow)) {
+					shadow = append(shadow, make([]byte, need-int64(len(shadow)))...)
+				}
+				copy(shadow[off:], data)
+			case 1: // Append
+				n := 1 + g.Intn(BlockSize)
+				data := make([]byte, n)
+				g.Bytes(data)
+				fs.Append(nil, file, data)
+				shadow = append(shadow, data...)
+			case 2: // Truncate shrink
+				if len(shadow) > 0 {
+					sz := g.Int63n(int64(len(shadow)))
+					fs.Truncate(nil, file, sz)
+					shadow = shadow[:sz]
+				}
+			}
+		}
+		got := make([]byte, len(shadow))
+		n, _ := fs.ReadAt(nil, file, 0, got)
+		return n == len(shadow) && bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEphemeralDataModeKeepsMetadata(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), 64<<20)
+	opts := Options{NumInodes: 256, EphemeralData: true}
+	Mkfs(dev, opts)
+	fs, _ := Mount(dev, CPUMover{}, opts)
+	f, _ := fs.Create(nil, "/f")
+	fs.WriteAt(nil, f, 0, make([]byte, 8*BlockSize))
+	if f.Size() != 8*BlockSize {
+		t.Fatal("metadata not functional in ephemeral mode")
+	}
+	got := make([]byte, 10)
+	n, _ := fs.ReadAt(nil, f, 0, got)
+	if n != 10 {
+		t.Fatal("read length wrong in ephemeral mode")
+	}
+}

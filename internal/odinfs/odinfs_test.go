@@ -1,0 +1,107 @@
+package odinfs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+func newOdin(t *testing.T, appCores, delegates int) (*sim.Engine, *FS, *caladan.Runtime) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), 256<<20)
+	opts := nova.Options{NumInodes: 256}
+	if err := nova.Mkfs(dev, opts); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := caladan.New(eng, caladan.Options{Cores: appCores + delegates, DisableStealing: true})
+	cores := make([]int, delegates)
+	for i := range cores {
+		cores[i] = appCores + i
+	}
+	fs.StartWorkers(rt, cores)
+	return eng, fs, rt
+}
+
+func TestOdinfsRoundtrip(t *testing.T) {
+	eng, fs, rt := newOdin(t, 1, 4)
+	data := make([]byte, 300_000)
+	rng.New(9).Bytes(data)
+	got := make([]byte, len(data))
+	rt.Spawn(0, "app", func(task *caladan.Task) {
+		f, _ := fs.Create(task, "/f")
+		fs.WriteAt(task, f, 0, data)
+		fs.ReadAt(task, f, 0, got)
+	})
+	eng.Run()
+	eng.Shutdown()
+	if !bytes.Equal(got, data) {
+		t.Fatal("delegated roundtrip mismatch")
+	}
+}
+
+func TestDelegationParallelizesLargeWrites(t *testing.T) {
+	// A 2 MB write split across 8 delegates should beat one NOVA core,
+	// despite per-writer degradation.
+	measure := func(delegates int) sim.Duration {
+		eng := sim.NewEngine()
+		dev := pmem.New(eng, perfmodel.System(), 256<<20)
+		opts := nova.Options{NumInodes: 64}
+		nova.Mkfs(dev, opts)
+		var fs interface {
+			Create(*caladan.Task, string) (*nova.File, error)
+			WriteAt(*caladan.Task, *nova.File, int64, []byte) (int, error)
+		}
+		rt := caladan.New(eng, caladan.Options{Cores: 1 + delegates, DisableStealing: true})
+		if delegates > 0 {
+			ofs, _ := New(dev, opts)
+			cores := make([]int, delegates)
+			for i := range cores {
+				cores[i] = 1 + i
+			}
+			ofs.StartWorkers(rt, cores)
+			fs = ofs
+		} else {
+			nfs, _ := nova.Mount(dev, nova.CPUMover{}, opts)
+			fs = nfs
+		}
+		var dur sim.Duration
+		rt.Spawn(0, "app", func(task *caladan.Task) {
+			f, _ := fs.Create(task, "/f")
+			start := task.Now()
+			fs.WriteAt(task, f, 0, make([]byte, 2<<20))
+			dur = sim.Duration(task.Now() - start)
+		})
+		eng.Run()
+		eng.Shutdown()
+		return dur
+	}
+	novaDur := measure(0)
+	odinDur := measure(8)
+	if odinDur >= novaDur {
+		t.Fatalf("delegation (%v) not faster than single-core NOVA (%v) at 2MB", odinDur, novaDur)
+	}
+}
+
+func TestDelegatesOccupyReservedCores(t *testing.T) {
+	eng, fs, rt := newOdin(t, 1, 2)
+	rt.Spawn(0, "app", func(task *caladan.Task) {
+		f, _ := fs.Create(task, "/f")
+		fs.WriteAt(task, f, 0, make([]byte, 1<<20))
+	})
+	eng.Run()
+	eng.Shutdown()
+	if rt.Core(1).BusyTime() == 0 && rt.Core(2).BusyTime() == 0 {
+		t.Fatal("no delegate core did any work")
+	}
+}

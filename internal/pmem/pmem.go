@@ -1,0 +1,487 @@
+// Package pmem simulates a slow-memory device (Optane DCPMM or a
+// CXL-attached NVM pool) with two decoupled planes:
+//
+//   - A functional plane: a sparse, byte-addressable persistent store with
+//     real contents, store/fence persistence semantics and crash-image
+//     generation (what survives a power failure).
+//   - A temporal plane: bandwidth arbitration between concurrent transfer
+//     flows (CPU memcpy loops and DMA channel transfers) using weighted
+//     max-min fair sharing under the capacity model in perfmodel —
+//     per-core CPU rate degradation, DIMM direction caps with write
+//     anti-scaling, and per-DMA-engine caps.
+//
+// Flows model *time*: callers start a flow for the bytes they move and are
+// notified when the device has streamed them; the functional copy is then
+// performed by the caller (so data lands atomically at completion time,
+// which is also when it becomes durable for DMA writes).
+package pmem
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+const pageSize = perfmodel.PageSize
+
+// Kind distinguishes who is moving the data; it selects the rate model.
+type Kind int
+
+const (
+	// FlowCPU is a core executing a load/store copy loop.
+	FlowCPU Kind = iota
+	// FlowDMA is an on-chip DMA engine channel transfer.
+	FlowDMA
+)
+
+// FlowSpec describes a transfer to be timed by the device.
+type FlowSpec struct {
+	// Write is true for DRAM->PM transfers.
+	Write bool
+	Kind  Kind
+	// Bytes is the transfer length.
+	Bytes int64
+	// Weight biases the max-min share (DMA engines serve large
+	// descriptors disproportionately; see §2.2 "latency spikes").
+	// Zero means weight 1.
+	Weight float64
+	// Group identifies the DMA engine for per-engine caps (ignored for
+	// CPU flows).
+	Group int
+	// Remote applies the cross-NUMA penalty to CPU flows.
+	Remote bool
+	// OnDone fires from event context when the last byte has streamed.
+	OnDone func()
+}
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	dev       *Device
+	spec      FlowSpec
+	remaining float64
+	rate      float64 // bytes/sec allocated by the last recompute
+	done      bool
+}
+
+// Progress reports the fraction of the flow completed in [0, 1].
+func (f *Flow) Progress() float64 {
+	if f.done {
+		return 1
+	}
+	f.dev.advance()
+	if f.spec.Bytes == 0 {
+		return 1
+	}
+	p := 1 - f.remaining/float64(f.spec.Bytes)
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Done reports whether the flow has completed or been cancelled.
+func (f *Flow) Done() bool { return f.done }
+
+// Cancel removes an in-flight flow without firing OnDone. It reports
+// whether the flow was still active.
+func (f *Flow) Cancel() bool {
+	if f.done {
+		return false
+	}
+	f.dev.advance()
+	f.done = true
+	f.dev.removeFlow(f)
+	f.dev.recompute()
+	return true
+}
+
+// Device is one simulated slow-memory device (or an aggregated multi-node
+// system, per the perfmodel profile in use).
+type Device struct {
+	eng   *sim.Engine
+	model perfmodel.Memory
+	size  int64
+
+	pages map[int64]*[pageSize]byte
+
+	flows   []*Flow
+	pending *sim.Timer
+	lastAdv sim.Time
+
+	// Persistence tracking (crash simulation).
+	tracking bool
+	records  []PersistRecord
+	epoch    int
+	base     map[int64]*[pageSize]byte
+}
+
+// New creates a device of the given byte size.
+func New(eng *sim.Engine, model perfmodel.Memory, size int64) *Device {
+	return &Device{
+		eng:   eng,
+		model: model,
+		size:  size,
+		pages: make(map[int64]*[pageSize]byte),
+	}
+}
+
+// Engine returns the simulation engine the device is bound to.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Model returns the device's calibration profile.
+func (d *Device) Model() perfmodel.Memory { return d.model }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+func (d *Device) check(off int64, n int) {
+	if off < 0 || off+int64(n) > d.size {
+		panic(fmt.Sprintf("pmem: access [%d, %d) outside device of size %d", off, off+int64(n), d.size))
+	}
+}
+
+// ReadAt copies device contents at off into b. Unwritten bytes read as
+// zero. This is the functional plane only; it consumes no virtual time.
+func (d *Device) ReadAt(b []byte, off int64) {
+	d.check(off, len(b))
+	for len(b) > 0 {
+		pg, po := off/pageSize, off%pageSize
+		n := pageSize - int(po)
+		if n > len(b) {
+			n = len(b)
+		}
+		if p := d.pages[pg]; p != nil {
+			copy(b[:n], p[po:int(po)+n])
+		} else {
+			for i := 0; i < n; i++ {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		off += int64(n)
+	}
+}
+
+// WriteAt stores b at off. The store is immediately visible to readers but
+// only becomes durable at the next Fence (stores between fences may
+// survive a crash in any subset — see CrashImage).
+func (d *Device) WriteAt(off int64, b []byte) {
+	d.check(off, len(b))
+	if d.tracking {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		d.records = append(d.records, PersistRecord{Epoch: d.epoch, Off: off, Data: cp})
+	}
+	for len(b) > 0 {
+		pg, po := off/pageSize, off%pageSize
+		n := pageSize - int(po)
+		if n > len(b) {
+			n = len(b)
+		}
+		p := d.pages[pg]
+		if p == nil {
+			p = new([pageSize]byte)
+			d.pages[pg] = p
+		}
+		copy(p[po:int(po)+n], b[:n])
+		b = b[n:]
+		off += int64(n)
+	}
+}
+
+// Read8 reads a 64-bit little-endian value (used for completion buffers
+// and log tail pointers).
+func (d *Device) Read8(off int64) uint64 {
+	var b [8]byte
+	d.ReadAt(b[:], off)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Write8 stores a 64-bit little-endian value.
+func (d *Device) Write8(off int64, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	d.WriteAt(off, b[:])
+}
+
+// Fence orders persistence: all stores issued before the fence are durable
+// in every crash image taken after it.
+func (d *Device) Fence() {
+	if d.tracking {
+		d.epoch++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Temporal plane: flow arbitration.
+
+// StartFlow begins timing a transfer. OnDone fires from event context once
+// the device has streamed spec.Bytes. Zero-length flows complete on the
+// next event tick.
+func (d *Device) StartFlow(spec FlowSpec) *Flow {
+	if spec.Weight <= 0 {
+		spec.Weight = 1
+	}
+	f := &Flow{dev: d, spec: spec, remaining: float64(spec.Bytes)}
+	if spec.Bytes <= 0 {
+		f.done = true
+		d.eng.After(0, func() {
+			if spec.OnDone != nil {
+				spec.OnDone()
+			}
+		})
+		return f
+	}
+	d.advance()
+	d.flows = append(d.flows, f)
+	d.recompute()
+	return f
+}
+
+// ActiveFlows reports the number of in-flight flows.
+func (d *Device) ActiveFlows() int { return len(d.flows) }
+
+func (d *Device) removeFlow(f *Flow) {
+	for i, g := range d.flows {
+		if g == f {
+			d.flows = append(d.flows[:i], d.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// advance applies elapsed virtual time to all flow progress counters.
+func (d *Device) advance() {
+	now := d.eng.Now()
+	dt := float64(now-d.lastAdv) / 1e9
+	d.lastAdv = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range d.flows {
+		f.remaining -= f.rate * dt
+	}
+}
+
+// intrinsic returns a flow's standalone rate given the current population
+// counts.
+func (d *Device) intrinsic(f *Flow, cpuR, cpuW int) float64 {
+	switch f.spec.Kind {
+	case FlowCPU:
+		n := cpuR
+		if f.spec.Write {
+			n = cpuW
+		}
+		r := d.model.CPURate(f.spec.Write, n)
+		if f.spec.Remote {
+			r *= d.model.NUMARemotePenalty
+		}
+		return r
+	default:
+		rate := d.model.DMAChanReadRate
+		if f.spec.Write {
+			rate = d.model.DMAChanWriteRate
+		}
+		// Bulk descriptors stream disproportionately fast: deep prefetch
+		// and amortized record turnaround let one channel consume device
+		// bandwidth far beyond its fair share, starving the others —
+		// the §2.2 interference finding that motivates B-app splitting.
+		if f.spec.Bytes > 64<<10 {
+			boost := math.Sqrt(float64(f.spec.Bytes) / (64 << 10))
+			if boost > 2.2 {
+				boost = 2.2
+			}
+			rate *= boost
+		}
+		return rate
+	}
+}
+
+// maxmin computes a weighted max-min fair allocation of cap across items
+// whose demands are given by limit. Result is written into alloc.
+func maxmin(limit, weight, alloc []float64, cap float64) {
+	n := len(limit)
+	sat := make([]bool, n)
+	remaining := cap
+	for {
+		var wsum float64
+		for i := 0; i < n; i++ {
+			if !sat[i] {
+				wsum += weight[i]
+			}
+		}
+		if wsum == 0 {
+			return
+		}
+		progressed := false
+		for i := 0; i < n; i++ {
+			if sat[i] {
+				continue
+			}
+			share := remaining * weight[i] / wsum
+			if limit[i] <= share {
+				alloc[i] = limit[i]
+				remaining -= limit[i]
+				sat[i] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			for i := 0; i < n; i++ {
+				if !sat[i] {
+					alloc[i] = remaining * weight[i] / wsum
+				}
+			}
+			return
+		}
+	}
+}
+
+// recompute reallocates bandwidth and schedules the next completion event.
+// Must be called with progress already advanced to now.
+func (d *Device) recompute() {
+	if d.pending != nil {
+		d.pending.Stop()
+		d.pending = nil
+	}
+	if len(d.flows) == 0 {
+		return
+	}
+
+	// Population counts.
+	var cpuR, cpuW int
+	dmaActive := map[[2]any]int{} // (group, write) -> count
+	for _, f := range d.flows {
+		if f.spec.Kind == FlowCPU {
+			if f.spec.Write {
+				cpuW++
+			} else {
+				cpuR++
+			}
+		} else {
+			dmaActive[[2]any{f.spec.Group, f.spec.Write}]++
+		}
+	}
+
+	// Allocation runs per direction, writes first: Optane reads degrade
+	// sharply under concurrent write pressure (media contention), which
+	// is why CPU throttling cannot protect L-app reads from a DMA-driven
+	// GC (§6.4.3). readScale shrinks every read rate (flow intrinsics,
+	// engine caps and the DIMM cap alike) by the write utilization.
+	var writeRate float64
+	for _, write := range []bool{true, false} {
+		readScale := 1.0
+		if !write {
+			util := writeRate / d.model.WriteCap
+			if util > 1 {
+				util = 1
+			}
+			readScale = 1 - 0.7*util
+			if readScale < 0.25 {
+				readScale = 0.25
+			}
+		}
+
+		// Stage 1: flow intrinsics, tightened by per-engine DMA caps.
+		limit := make([]float64, len(d.flows))
+		for i, f := range d.flows {
+			if f.spec.Write != write {
+				continue
+			}
+			limit[i] = d.intrinsic(f, cpuR, cpuW) * readScale
+		}
+		for key, nact := range dmaActive {
+			group, wdir := key[0].(int), key[1].(bool)
+			if wdir != write {
+				continue
+			}
+			cap := d.model.DMACap(write, nact) * readScale
+			var idx []int
+			var lims, ws, as []float64
+			for i, f := range d.flows {
+				if f.spec.Kind == FlowDMA && f.spec.Group == group && f.spec.Write == write {
+					idx = append(idx, i)
+					lims = append(lims, limit[i])
+					ws = append(ws, f.spec.Weight)
+					as = append(as, 0)
+				}
+			}
+			maxmin(lims, ws, as, cap)
+			for j, i := range idx {
+				limit[i] = as[j]
+			}
+		}
+
+		// Stage 2: the DIMM direction cap across all flows.
+		cap := d.model.DirCap(write, cpuW) * readScale
+		var idx []int
+		var lims, ws, as []float64
+		for i, f := range d.flows {
+			if f.spec.Write == write {
+				idx = append(idx, i)
+				lims = append(lims, limit[i])
+				ws = append(ws, f.spec.Weight)
+				as = append(as, 0)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		maxmin(lims, ws, as, cap)
+		for j, i := range idx {
+			f := d.flows[i]
+			f.rate = as[j]
+			if f.rate < 1 {
+				f.rate = 1 // never stall completely
+			}
+			if write {
+				writeRate += f.rate
+			}
+		}
+	}
+
+	// Next completion.
+	best := -1.0
+	for _, f := range d.flows {
+		t := f.remaining / f.rate
+		if t < 0 {
+			t = 0
+		}
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	ns := sim.Duration(best*1e9) + 1 // round up to the next ns
+	d.pending = d.eng.After(ns, d.completeDue)
+}
+
+// completeDue fires flows whose bytes have fully streamed.
+func (d *Device) completeDue() {
+	d.pending = nil
+	d.advance()
+	var fired []*Flow
+	rest := d.flows[:0]
+	for _, f := range d.flows {
+		if f.remaining <= 0.5 {
+			f.done = true
+			fired = append(fired, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	d.flows = rest
+	d.recompute()
+	for _, f := range fired {
+		if f.spec.OnDone != nil {
+			f.spec.OnDone()
+		}
+	}
+}

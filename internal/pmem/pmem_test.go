@@ -1,0 +1,320 @@
+package pmem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+func newDev() (*sim.Engine, *Device) {
+	eng := sim.NewEngine()
+	return eng, New(eng, perfmodel.MicroNode(), 1<<30)
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	_, d := newDev()
+	data := []byte("hello slow memory")
+	d.WriteAt(12345, data)
+	got := make([]byte, len(data))
+	d.ReadAt(got, 12345)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	_, d := newDev()
+	b := []byte{1, 2, 3, 4}
+	d.ReadAt(b, 999)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("unwritten read = %v", b)
+		}
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	_, d := newDev()
+	data := make([]byte, 3*pageSize+17)
+	rng.New(1).Bytes(data)
+	off := int64(pageSize - 5)
+	d.WriteAt(off, data)
+	got := make([]byte, len(data))
+	d.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page roundtrip mismatch")
+	}
+	// Byte just before and after remain zero.
+	b := make([]byte, 1)
+	d.ReadAt(b, off-1)
+	if b[0] != 0 {
+		t.Fatal("byte before write dirtied")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		_, d := newDev()
+		type w struct {
+			off  int64
+			data []byte
+		}
+		var writes []w
+		for i := 0; i < 20; i++ {
+			n := 1 + g.Intn(3*pageSize)
+			off := g.Int63n(d.Size() - int64(n))
+			data := make([]byte, n)
+			g.Bytes(data)
+			d.WriteAt(off, data)
+			writes = append(writes, w{off, data})
+		}
+		// Last write at each offset wins: verify the final write fully.
+		last := writes[len(writes)-1]
+		got := make([]byte, len(last.data))
+		d.ReadAt(got, last.off)
+		return bytes.Equal(got, last.data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrite8Read8(t *testing.T) {
+	_, d := newDev()
+	d.Write8(4096-4, 0x1122334455667788) // cross page boundary
+	if got := d.Read8(4096 - 4); got != 0x1122334455667788 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, d := newDev()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.WriteAt(d.Size()-2, []byte{1, 2, 3})
+}
+
+func TestSingleCPUWriteFlowRate(t *testing.T) {
+	eng, d := newDev()
+	m := d.Model()
+	const n = 2_000_000
+	var doneAt sim.Time = -1
+	d.StartFlow(FlowSpec{Write: true, Kind: FlowCPU, Bytes: n, OnDone: func() { doneAt = eng.Now() }})
+	eng.Run()
+	want := float64(n) / m.CPUWriteRate * 1e9
+	if doneAt < 0 {
+		t.Fatal("flow never completed")
+	}
+	if math.Abs(float64(doneAt)-want) > want*0.01 {
+		t.Fatalf("completed at %v, want ~%.0fns", doneAt, want)
+	}
+}
+
+func TestConcurrentCPUWritersDegrade(t *testing.T) {
+	eng, d := newDev()
+	m := d.Model()
+	const n = 1_000_000
+	done := 0
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		d.StartFlow(FlowSpec{Write: true, Kind: FlowCPU, Bytes: n, OnDone: func() { done++; last = eng.Now() }})
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	perCore := m.CPURate(true, 4)
+	want := float64(n) / perCore * 1e9
+	if math.Abs(float64(last)-want) > want*0.02 {
+		t.Fatalf("4-writer completion at %v, want ~%.0f (rate %.2f GB/s)", last, want, perCore/1e9)
+	}
+	if perCore >= m.CPUWriteRate {
+		t.Fatal("no degradation under concurrency")
+	}
+}
+
+func TestDMAWriteSaturatesNodeCap(t *testing.T) {
+	eng, d := newDev()
+	m := d.Model()
+	const n = 10_000_000
+	var doneAt sim.Time
+	d.StartFlow(FlowSpec{Write: true, Kind: FlowDMA, Bytes: n, OnDone: func() { doneAt = eng.Now() }})
+	eng.Run()
+	// One channel's intrinsic 9 GB/s exceeds both the engine cap and the
+	// DIMM cap (6.6), so the flow runs at 6.6 GB/s.
+	want := float64(n) / m.WriteCap * 1e9
+	if math.Abs(float64(doneAt)-want) > want*0.01 {
+		t.Fatalf("done at %v, want ~%.0f", doneAt, want)
+	}
+}
+
+func TestDMAReadEngineCap(t *testing.T) {
+	eng, d := newDev()
+	m := d.Model()
+	const n = 5_000_000
+	done := 0
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		d.StartFlow(FlowSpec{Write: false, Kind: FlowDMA, Bytes: n, OnDone: func() { done++; last = eng.Now() }})
+	}
+	eng.Run()
+	// 4 channels * 2.9 = 11.6 intrinsic but engine read cap is 5.6 GB/s.
+	want := float64(4*n) / m.DMAReadCap * 1e9
+	if math.Abs(float64(last)-want) > want*0.02 {
+		t.Fatalf("done at %v, want ~%.0f", last, want)
+	}
+	_ = done
+}
+
+func TestWeightedSharing(t *testing.T) {
+	eng, d := newDev()
+	const n = 4_000_000
+	var bigDone, smallDone sim.Time
+	// Two DMA read flows on one engine: weight 4 vs 1 under the 5.6 GB/s
+	// engine cap. The heavy flow should finish much earlier per byte.
+	d.StartFlow(FlowSpec{Kind: FlowDMA, Bytes: n, Weight: 4, OnDone: func() { bigDone = eng.Now() }})
+	d.StartFlow(FlowSpec{Kind: FlowDMA, Bytes: n, Weight: 1, OnDone: func() { smallDone = eng.Now() }})
+	eng.Run()
+	if bigDone >= smallDone {
+		t.Fatalf("weighted flow not favored: big %v small %v", bigDone, smallDone)
+	}
+}
+
+func TestFlowProgressAndCancel(t *testing.T) {
+	eng, d := newDev()
+	const n = 2_000_000
+	f := d.StartFlow(FlowSpec{Write: true, Kind: FlowCPU, Bytes: n, OnDone: func() { t.Error("OnDone after cancel") }})
+	// Half the expected duration: progress ~0.5.
+	half := sim.Duration(float64(n) / d.Model().CPUWriteRate * 1e9 / 2)
+	eng.After(half, func() {
+		p := f.Progress()
+		if p < 0.45 || p > 0.55 {
+			t.Errorf("progress = %v, want ~0.5", p)
+		}
+		if !f.Cancel() {
+			t.Error("cancel failed")
+		}
+		if f.Cancel() {
+			t.Error("double cancel succeeded")
+		}
+	})
+	eng.Run()
+	if !f.Done() {
+		t.Fatal("flow not done after cancel")
+	}
+}
+
+func TestZeroByteFlowCompletes(t *testing.T) {
+	eng, d := newDev()
+	done := false
+	d.StartFlow(FlowSpec{Bytes: 0, OnDone: func() { done = true }})
+	eng.Run()
+	if !done {
+		t.Fatal("zero-byte flow never completed")
+	}
+}
+
+func TestMaxminRespectsLimitsAndCap(t *testing.T) {
+	limit := []float64{1, 10, 10}
+	weight := []float64{1, 1, 2}
+	alloc := make([]float64, 3)
+	maxmin(limit, weight, alloc, 7)
+	// Item 0 satisfied at 1; remaining 6 split 1:2 -> 2 and 4.
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1e-9 {
+			t.Fatalf("alloc = %v, want %v", alloc, want)
+		}
+	}
+}
+
+func TestMaxminUnderloaded(t *testing.T) {
+	limit := []float64{1, 2}
+	alloc := make([]float64, 2)
+	maxmin(limit, []float64{1, 1}, alloc, 100)
+	if alloc[0] != 1 || alloc[1] != 2 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+}
+
+func TestTrackingAndCrashImage(t *testing.T) {
+	_, d := newDev()
+	d.WriteAt(0, []byte("base"))
+	d.EnableTracking()
+	d.WriteAt(100, []byte("aa")) // epoch 0, record 0
+	d.Fence()
+	d.WriteAt(200, []byte("bb")) // epoch 1, record 1
+	d.WriteAt(300, []byte("cc")) // epoch 1, record 2
+	d.Fence()
+
+	if d.Epoch() != 2 || len(d.Records()) != 3 {
+		t.Fatalf("epoch=%d records=%d", d.Epoch(), len(d.Records()))
+	}
+
+	// Crash with only records 0 and 2 applied (legal: all of epoch 0 +
+	// subset of epoch 1).
+	img := d.CrashImage([]int{0, 2})
+	b := make([]byte, 4)
+	img.ReadAt(b, 0)
+	if string(b) != "base" {
+		t.Fatalf("base lost: %q", b)
+	}
+	b2 := make([]byte, 2)
+	img.ReadAt(b2, 100)
+	if string(b2) != "aa" {
+		t.Fatal("record 0 missing")
+	}
+	img.ReadAt(b2, 200)
+	if b2[0] != 0 || b2[1] != 0 {
+		t.Fatal("unapplied record present")
+	}
+	img.ReadAt(b2, 300)
+	if string(b2) != "cc" {
+		t.Fatal("record 2 missing")
+	}
+	// Original device unaffected.
+	d.ReadAt(b2, 200)
+	if string(b2) != "bb" {
+		t.Fatal("live device lost data")
+	}
+}
+
+func TestEpochBounds(t *testing.T) {
+	_, d := newDev()
+	d.EnableTracking()
+	d.WriteAt(0, []byte{1}) // e0 r0
+	d.WriteAt(1, []byte{1}) // e0 r1
+	d.Fence()
+	d.Fence()               // empty epoch 1
+	d.WriteAt(2, []byte{1}) // e2 r2
+	d.Fence()
+	bounds := d.EpochBounds()
+	want := []int{0, 2, 2, 3, 3}
+	if len(bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", bounds, want)
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", bounds, want)
+		}
+	}
+}
+
+func TestDisableTracking(t *testing.T) {
+	_, d := newDev()
+	d.EnableTracking()
+	d.WriteAt(0, []byte{1})
+	d.DisableTracking()
+	if d.Tracking() || d.Records() != nil {
+		t.Fatal("tracking not disabled")
+	}
+}

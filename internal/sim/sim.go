@@ -1,0 +1,369 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underpins the EasyIO reproduction.
+//
+// All hardware (slow memory, DMA engines) and software (uthread scheduler,
+// filesystems, workloads) advance on a shared virtual clock measured in
+// nanoseconds. Events execute on a single OS goroutine in (time, sequence)
+// order, so every run with the same seed is bit-for-bit reproducible —
+// something wall-clock goroutines cannot offer at the µs timescales the
+// paper studies.
+//
+// Arbitrary sequential Go code participates through a Proc: a coroutine
+// backed by a goroutine that is resumed synchronously from event context and
+// hands control back whenever it blocks on a simulation primitive (Sleep,
+// Park, or a higher-level primitive built on Pause). Exactly one Proc runs
+// at a time, preserving determinism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since simulation
+// start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros reports d as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+type event struct {
+	t    Time
+	seq  uint64
+	fn   func()
+	dead bool // set by Timer.Stop
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	stopped bool
+	// inEvent guards against Proc misuse (Resume outside event context).
+	inEvent bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now (clamped to zero).
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented the event from running.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// step runs the earliest pending event. It reports false if none remain or
+// the engine was stopped.
+func (e *Engine) step(deadline Time, bounded bool) bool {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if bounded && ev.t > deadline {
+			return false
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.t
+		e.inEvent = true
+		ev.fn()
+		e.inEvent = false
+		return !e.stopped
+	}
+	return false
+}
+
+// Run processes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.step(0, false) {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to t (if it is in the future).
+func (e *Engine) RunUntil(t Time) {
+	for e.step(t, true) {
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor processes events for d nanoseconds of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + Time(d)) }
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown kills every live Proc so their goroutines exit. It must be
+// called outside event context (after Run returns). The engine remains
+// usable for inspection but no further events should be scheduled.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		p.kill()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Procs: deterministic coroutines.
+
+type procState int
+
+const (
+	procNew procState = iota
+	procPaused
+	procRunning
+	procDone
+)
+
+// killed is the panic sentinel used to unwind a Proc on Shutdown.
+type killed struct{}
+
+// Proc is a coroutine executing sequential Go code inside the simulation.
+// Exactly one Proc runs at any instant; it runs in zero virtual time until
+// it blocks on a primitive, at which point control returns to the engine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	state  procState
+	resume chan bool // engine -> proc; value true means "kill"
+	yield  chan struct{}
+	fn     func(*Proc)
+
+	// tag lets runtimes attach the reason the proc paused (e.g. the
+	// scheduler request a uthread made). Owned by the embedding runtime.
+	tag any
+}
+
+// NewProc creates a coroutine that will execute fn when first resumed.
+// The proc does not start automatically; call Resume from event context or
+// schedule it with StartProc.
+func (e *Engine) NewProc(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		state:  procNew,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+		fn:     fn,
+	}
+	e.procs[p] = struct{}{}
+	return p
+}
+
+// StartProc creates the proc and schedules its first resumption immediately.
+func (e *Engine) StartProc(name string, fn func(*Proc)) *Proc {
+	p := e.NewProc(name, fn)
+	e.After(0, func() { p.Resume() })
+	return p
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the proc has finished.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Tag returns the runtime-owned annotation set by SetTag.
+func (p *Proc) Tag() any { return p.tag }
+
+// SetTag attaches a runtime-owned annotation readable after the proc pauses.
+func (p *Proc) SetTag(v any) { p.tag = v }
+
+// Resume runs the proc synchronously until it pauses or finishes. It must
+// be called from event context (inside an event callback). It reports
+// whether the proc is still alive (paused) after this slice.
+func (p *Proc) Resume() bool {
+	switch p.state {
+	case procDone:
+		return false
+	case procRunning:
+		panic("sim: Resume on running proc " + p.name)
+	case procNew:
+		p.state = procRunning
+		go p.main()
+	case procPaused:
+		p.state = procRunning
+		p.resume <- false
+	}
+	<-p.yield
+	return p.state != procDone
+}
+
+func (p *Proc) main() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				// Re-panic on the engine goroutine would be nicer, but
+				// surfacing the original stack is more useful.
+				p.state = procDone
+				delete(p.eng.procs, p)
+				p.yield <- struct{}{}
+				panic(r)
+			}
+		}
+		p.state = procDone
+		delete(p.eng.procs, p)
+		p.yield <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+// Pause hands control back to the engine. The proc stays blocked until
+// some event calls Resume. This is the primitive higher-level operations
+// (Sleep, Park, uthread scheduling) are built on.
+func (p *Proc) Pause() {
+	p.state = procPaused
+	p.yield <- struct{}{}
+	if <-p.resume {
+		panic(killed{})
+	}
+}
+
+// Sleep blocks the proc for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.Resume() })
+	p.Pause()
+}
+
+// kill unwinds a paused or unstarted proc so its goroutine exits.
+func (p *Proc) kill() {
+	switch p.state {
+	case procDone, procRunning:
+		return
+	case procNew:
+		p.state = procDone
+		delete(p.eng.procs, p)
+		return
+	case procPaused:
+		p.state = procRunning
+		p.resume <- true
+		<-p.yield
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cond: a simple broadcast condition for procs, usable from event context.
+
+// Cond parks procs until Broadcast wakes them all. It is the building block
+// for completion waits inside the simulated runtimes.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling proc until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Pause()
+}
+
+// Broadcast wakes all waiting procs (in FIFO order, each via its own
+// immediate event). Must be called from event context.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w := w
+		c.eng.After(0, func() { w.Resume() })
+	}
+}
+
+// Waiters reports how many procs are parked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }
