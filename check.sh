@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the tier-1 verification gate, mirroring .github/workflows/ci.yml.
+# Run from the module root. Fails fast on the first broken step.
+set -eu
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go run ./cmd/easyio-vet ./...'
+go run ./cmd/easyio-vet ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race -tags easyio_invariants ./...'
+go test -race -tags easyio_invariants ./...
+
+echo 'check.sh: all gates green'

@@ -1,0 +1,124 @@
+// Command easyio-vet runs the EasyIO determinism & locking analyzer
+// suite (internal/analysis) over the whole module and exits nonzero on
+// findings. CI and check.sh gate every change on it:
+//
+//	go run ./cmd/easyio-vet ./...          # whole module
+//	go run ./cmd/easyio-vet internal/core  # one package (suffix match)
+//	go run ./cmd/easyio-vet -list          # show the analyzers
+//	go run ./cmd/easyio-vet -only lockbalance ./...
+//
+// Intentional violations are suppressed in source with a rationale:
+//
+//	//easyio:allow <analyzer...> (why this site is safe)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/easyio-sim/easyio/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Fail loudly on type errors: analyzers degrade silently without
+	// full type information, and the tree is expected to compile.
+	typeErrs := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "typecheck: %v\n", e)
+			typeErrs++
+		}
+	}
+
+	pkgs = filterPackages(pkgs, flag.Args())
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 || typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "easyio-vet: %d finding(s), %d type error(s)\n", len(diags), typeErrs)
+		os.Exit(1)
+	}
+}
+
+// filterPackages applies the CLI package patterns: "./..." (or no
+// arguments) keeps everything; anything else matches import-path or
+// directory suffixes.
+func filterPackages(pkgs []*analysis.Package, patterns []string) []*analysis.Package {
+	keepAll := len(patterns) == 0
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "." {
+			keepAll = true
+		}
+	}
+	if keepAll {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		for _, p := range patterns {
+			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			p = strings.TrimSuffix(p, "/...")
+			if strings.HasSuffix(pkg.Path, p) || strings.Contains(pkg.Path+"/", "/"+p+"/") {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("easyio-vet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "easyio-vet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bannedRandImports are nondeterministic (or seed-global) randomness
+// sources. All stochastic behaviour must flow through internal/rng,
+// whose streams are seeded and forkable.
+var bannedRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Detrand forbids randomness sources other than internal/rng.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand and crypto/rand — all randomness must come from the seeded internal/rng",
+	Run:  runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "/internal/rng") {
+		return
+	}
+	pass.walkFiles(func(f *ast.File) {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if bannedRandImports[path] {
+				pass.Reportf(spec.Pos(), "import of %s breaks seeded determinism; use internal/rng (Fork per component)", path)
+			}
+		}
+	})
+}

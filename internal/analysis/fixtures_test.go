@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// fixturePkg type-checks one inline source file as a package for
+// analyzer tests. path defaults to "fixture"; analyzers that exempt
+// packages by import path can pass their own.
+func fixturePkg(t *testing.T, path, src string) *Package {
+	t.Helper()
+	if path == "" {
+		path = "fixture"
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, []*ast.File{f}, info)
+	if len(terrs) > 0 {
+		t.Fatalf("fixture does not type-check: %v", terrs)
+	}
+	return &Package{
+		Path:  path,
+		Name:  f.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Types: tpkg,
+		Info:  info,
+	}
+}
+
+// runFixture runs one analyzer over one fixture and returns the
+// surviving diagnostics.
+func runFixture(t *testing.T, a *Analyzer, path, src string) []Diagnostic {
+	t.Helper()
+	pkg := fixturePkg(t, path, src)
+	return RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+}
+
+// wantFindings asserts the diagnostic count and that every diagnostic
+// carries the analyzer's name and a position.
+func wantFindings(t *testing.T, diags []Diagnostic, want int, analyzer string) {
+	t.Helper()
+	if len(diags) != want {
+		t.Fatalf("got %d finding(s), want %d:\n%v", len(diags), want, diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != analyzer {
+			t.Errorf("finding from %q, want %q", d.Analyzer, analyzer)
+		}
+		if d.Pos.Line == 0 {
+			t.Errorf("finding has no position: %v", d)
+		}
+	}
+}

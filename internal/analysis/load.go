@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the absolute source directory.
+	Dir string
+	// Name is the package name (clause), e.g. "main" for commands.
+	Name string
+	// Fset is shared across the whole load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info hold the type-checker's results. Info is fully
+	// populated (Types, Defs, Uses, Selections) when type checking
+	// succeeded; analyzers must tolerate nil entries for robustness.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking failures (the analysis
+	// still runs syntactically when present).
+	TypeErrors []error
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root (the directory containing go.mod). Packages are
+// returned in deterministic (import-path) order. Standard-library
+// dependencies are type-checked from GOROOT source, so the loader needs
+// no toolchain invocation and no third-party dependency.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Discover and parse package directories.
+	byPath := map[string]*Package{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if pkg == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg.Path = modPath
+		if rel != "." {
+			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		byPath[pkg.Path] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order so module-internal imports resolve
+	// against already-checked packages.
+	order, err := topoSort(byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+		modPath: modPath,
+		checked: checked,
+	}
+	for _, pkg := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, _ := conf.Check(pkg.Path, fset, pkg.Files, info)
+		pkg.Types = tpkg
+		pkg.Info = info
+		if tpkg != nil {
+			checked[pkg.Path] = tpkg
+		}
+	}
+	return order, nil
+}
+
+// parseDir parses the non-test .go files of one directory, or returns
+// nil when the directory holds no Go sources.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(f) {
+			continue
+		}
+		if name == "" {
+			name = f.Name.Name
+		}
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("analysis: %s mixes packages %s and %s", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{Dir: dir, Name: name, Fset: fset, Files: files}, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint for the default
+// build: GOOS/GOARCH and go1.x tags hold, custom tags (easyio_invariants)
+// do not. Files without a constraint are always included.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the compiler complain, not us
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// imports lists the module-internal import paths of a package.
+func moduleImports(pkg *Package, modPath string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its importers; ties break by import path for determinism.
+func topoSort(byPath map[string]*Package, modPath string) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = visiting
+		pkg := byPath[path]
+		for _, dep := range moduleImports(pkg, modPath) {
+			if _, ok := byPath[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the in-progress
+// load and everything else from GOROOT source.
+type moduleImporter struct {
+	stdlib  types.Importer
+	modPath string
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		if p, ok := m.checked[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("analysis: internal package %s not yet checked (topo-sort bug?)", path)
+	}
+	return m.stdlib.Import(path)
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockBalance flags functions that acquire a lock (any `x.Lock(...)` /
+// `x.RLock(...)` call) and then reach a return, a panic, or the end of
+// the function on some path without releasing it (`x.Unlock()`,
+// `defer x.Unlock()`, ...). It is a per-function, path-sensitive AST
+// walk: branch bodies are analysed with copies of the held-lock set and
+// the sets of the non-terminating branches are intersected afterwards,
+// so the ~10 manual unlock paths in internal/core/easyio.go and friends
+// are each checked individually.
+//
+// Two escapes exist for intentional imbalance:
+//
+//   - functions whose name contains "lock" (lockPair, ULock.Lock, ...)
+//     are lock-manipulation helpers and are skipped entirely;
+//   - ownership-transfer sites (return into a callee that releases the
+//     lock) carry an //easyio:allow lockbalance comment.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "forbid return/panic paths that leak an acquired lock",
+	Run:  runLockBalance,
+}
+
+// lockSet maps a receiver expression (rendered as source, e.g. "ino.Mu")
+// to the position where it was locked.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runLockBalance(pass *Pass) {
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			if strings.Contains(strings.ToLower(fn.Name.Name), "lock") {
+				return true // lock-manipulation helper: imbalance is its job
+			}
+			lb := &lockBalancer{pass: pass, fnName: fn.Name.Name}
+			held, terminated := lb.stmts(fn.Body.List, lockSet{})
+			if !terminated {
+				lb.reportHeld(fn.Body.Rbrace, held, "function end")
+			}
+			return true
+		})
+	})
+}
+
+type lockBalancer struct {
+	pass   *Pass
+	fnName string
+}
+
+func (lb *lockBalancer) reportHeld(pos token.Pos, held lockSet, where string) {
+	// Sorted receivers: our own maporder analyzer demands deterministic
+	// report order (it caught this exact loop ranging the map directly).
+	recvs := make([]string, 0, len(held))
+	for recv := range held {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+	for _, recv := range recvs {
+		line := lb.pass.Pkg.Fset.Position(held[recv]).Line
+		lb.pass.Reportf(pos, "%s: %s locked at line %d is still held at %s", lb.fnName, recv, line, where)
+	}
+}
+
+// stmts walks a statement list with the entry lock set, reporting exits
+// that leak locks. It returns the set held after normal completion and
+// whether every path through the list terminates (return/panic).
+func (lb *lockBalancer) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = lb.stmt(s, held)
+		if term {
+			return held, true // rest is unreachable
+		}
+	}
+	return held, false
+}
+
+func (lb *lockBalancer) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, kind := lockCall(call); kind != "" {
+				switch kind {
+				case "lock":
+					held[recv] = call.Pos()
+				case "unlock":
+					delete(held, recv)
+				}
+				return held, false
+			}
+			if isPanicCall(call) {
+				lb.reportHeld(s.Pos(), held, "panic")
+				return held, true
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases on every exit from here on.
+		if recv, kind := lockCall(s.Call); kind == "unlock" {
+			delete(held, recv)
+		}
+	case *ast.ReturnStmt:
+		lb.reportHeld(s.Pos(), held, "return")
+		return held, true
+	case *ast.BlockStmt:
+		return lb.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return lb.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		bodyHeld, bodyTerm := lb.stmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = lb.stmt(s.Else, held.clone())
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return intersect(bodyHeld, elseHeld), false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return lb.branches(s, held)
+	case *ast.ForStmt:
+		// Loop bodies are assumed lock-balanced per iteration; exits
+		// inside the body are still checked against a copy.
+		lb.stmts(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		lb.stmts(s.Body.List, held.clone())
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; treat as terminating the
+		// linear scan (the loop-level copy keeps this sound).
+		return held, true
+	case *ast.GoStmt:
+		// A goroutine body is a different execution context.
+	}
+	return held, false
+}
+
+// branches handles switch/type-switch/select: each clause body runs with
+// a copy; live (non-terminating) outcomes are intersected. Without a
+// default clause, falling past the switch keeps the entry set live.
+func (lb *lockBalancer) branches(s ast.Stmt, held lockSet) (lockSet, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var live []lockSet
+	allTerm := true
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		h, term := lb.stmts(stmts, held.clone())
+		if !term {
+			live = append(live, h)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		live = append(live, held)
+		allTerm = false
+	}
+	if allTerm {
+		return held, true
+	}
+	out := live[0]
+	for _, h := range live[1:] {
+		out = intersect(out, h)
+	}
+	return out, false
+}
+
+// intersect keeps locks held on both paths (a lock released on either
+// live path is treated as released, biasing against false positives).
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockCall classifies x.Lock(...)/x.RLock(...) as "lock" and
+// x.Unlock()/x.RUnlock() as "unlock", returning the rendered receiver.
+func lockCall(call *ast.CallExpr) (recv, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return "", ""
+	}
+	return exprString(sel.X), kind
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// exprString renders an expression as source text (go/types' formatter,
+// which handles arbitrary expressions without a printer round-trip).
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

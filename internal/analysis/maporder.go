@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map whose body has side effects that
+// can observe iteration order: appending to a slice declared outside the
+// loop (result order becomes nondeterministic), or calling functions and
+// methods (event scheduling, allocator mutation, I/O — anything whose
+// effect sequence then depends on map order).
+//
+// Two idioms are recognized as safe and not flagged:
+//
+//   - collect-and-sort: appends whose target is passed to a sort.* /
+//     slices.Sort* call after the loop;
+//   - pure bodies: builtin calls (delete, len, append-to-local, ...) and
+//     type conversions.
+//
+// Genuinely order-independent call sites (e.g. killing procs at
+// shutdown) carry an //easyio:allow maporder comment with a rationale.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent side effects inside map iteration",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return // map detection requires type information
+	}
+	pass.walkFiles(func(f *ast.File) {
+		// Visit function by function so the collect-and-sort check can
+		// scan the enclosing function for a later sort call.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, info, body, rng)
+				return true
+			})
+			return true
+		})
+	})
+}
+
+// checkMapRange inspects one map-range body for order-dependent effects.
+func checkMapRange(pass *Pass, info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	reportedCall := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred execution; not part of this iteration
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Appending through a selector/index always escapes
+					// the loop.
+					pass.Reportf(n.Pos(), "append to %s inside map iteration makes element order nondeterministic", exprString(n.Lhs[i]))
+					continue
+				}
+				obj := info.ObjectOf(target)
+				if obj == nil || insideRange(rng, obj.Pos()) {
+					continue // loop-local accumulator: order invisible outside
+				}
+				if sortedAfter(info, fnBody, rng, obj) {
+					continue // collect-and-sort idiom
+				}
+				pass.Reportf(n.Pos(), "append to %s inside map iteration makes element order nondeterministic (sort it afterwards or iterate sorted keys)", target.Name)
+			}
+		case *ast.CallExpr:
+			if reportedCall || isOrderNeutralCall(info, n) {
+				return true
+			}
+			reportedCall = true
+			// Anchor at the range statement so an //easyio:allow comment
+			// above the loop covers the whole body.
+			line := pass.Pkg.Fset.Position(n.Pos()).Line
+			pass.Reportf(rng.Pos(), "map iteration calls %s (line %d) in nondeterministic order (iterate sorted keys, or //easyio:allow maporder with a rationale)", exprString(n.Fun), line)
+		}
+		return true
+	})
+}
+
+// insideRange reports whether pos falls within the range statement.
+func insideRange(rng *ast.RangeStmt, pos token.Pos) bool {
+	return pos >= rng.Pos() && pos < rng.End()
+}
+
+// isBuiltin reports whether call invokes the named Go builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if obj, ok := info.Uses[id]; ok {
+		_, isB := obj.(*types.Builtin)
+		return isB
+	}
+	return true // unresolved: trust the spelling
+}
+
+// isOrderNeutralCall reports whether a call is harmless under reordering:
+// any builtin (delete, len, cap, copy, make, new, append — appends are
+// handled separately with escape analysis) or a type conversion.
+func isOrderNeutralCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // type conversion
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, ok := info.Uses[id]; ok {
+			switch obj.(type) {
+			case *types.Builtin, *types.TypeName:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call after the range statement within the enclosing function — the
+// collect-and-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		if pkgObj, ok := info.Uses[pkgID]; ok {
+			if _, isPkg := pkgObj.(*types.PkgName); !isPkg {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

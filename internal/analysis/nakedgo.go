@@ -1,0 +1,26 @@
+package analysis
+
+import "go/ast"
+
+// NakedGo forbids raw goroutines. The simulation permits exactly one
+// concurrency mechanism: sim.Proc coroutines, which the engine resumes
+// one at a time in deterministic event order. A naked `go` statement
+// races the OS scheduler against the virtual clock. The single
+// sanctioned launch site (the Proc backing goroutine in internal/sim)
+// carries an //easyio:allow nakedgo comment.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "forbid go statements — concurrency must go through sim.Proc",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(pass *Pass) {
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "naked goroutine defeats deterministic scheduling; use Engine.NewProc / Runtime.Spawn")
+			}
+			return true
+		})
+	})
+}

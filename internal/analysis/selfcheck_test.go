@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfCheck runs every analyzer over this repository and demands a
+// clean bill: zero type errors and zero findings. This is the same gate
+// cmd/easyio-vet enforces in CI, kept here so a plain `go test ./...`
+// catches new violations without the extra command.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadModule found no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range RunAnalyzers(pkgs, All()) {
+		t.Errorf("finding: %s", d)
+	}
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bannedTimeFuncs are the wall-clock entry points that would make a
+// simulation run depend on host timing. Pure value helpers
+// (time.Duration arithmetic, formatting) are not listed.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Simtime forbids wall-clock time in simulation code. Everything in this
+// module advances on the virtual clock (sim.Time); a single time.Now()
+// in a workload or filesystem silently breaks bit-for-bit replay.
+var Simtime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock time (time.Now/Sleep/Since/...) — use the virtual sim.Time clock",
+	Run:  runSimtime,
+}
+
+func runSimtime(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.walkFiles(func(f *ast.File) {
+		// Resolve the local name of the "time" import, if any.
+		timeName := ""
+		for _, spec := range f.Imports {
+			if strings.Trim(spec.Path.Value, `"`) != "time" {
+				continue
+			}
+			timeName = "time"
+			if spec.Name != nil {
+				timeName = spec.Name.Name
+			}
+		}
+		if timeName == "" || timeName == "_" {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			// With type info, confirm the identifier really is the
+			// package (not a shadowing local).
+			if info != nil {
+				if obj, ok := info.Uses[id]; ok {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code; use the virtual clock (sim.Time, Engine.Now, Proc.Sleep)", sel.Sel.Name)
+			return true
+		})
+	})
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//easyio:allow analyzer1 analyzer2 (rationale)
+//
+// The comment suppresses the named analyzers on its own line and on the
+// following line, so it can sit at the end of the offending statement or
+// on the line directly above it. Everything from the first token that
+// starts with '(' or '-' is treated as rationale and ignored. A bare
+// "//easyio:allow all" suppresses every analyzer (use sparingly).
+const allowPrefix = "easyio:allow"
+
+// allowedNames parses one comment's text (without the // or /* markers)
+// and returns the analyzer names it suppresses, or nil.
+func allowedNames(text string) []string {
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for _, tok := range strings.Fields(rest) {
+		if strings.HasPrefix(tok, "(") || strings.HasPrefix(tok, "-") {
+			break
+		}
+		names = append(names, tok)
+	}
+	return names
+}
+
+// suppressionIndex maps "file:line" to the set of analyzer names allowed
+// on that line.
+type suppressionIndex map[string]map[string]bool
+
+func (idx suppressionIndex) add(file string, line int, names []string) {
+	key := suppressKey(file, line)
+	set := idx[key]
+	if set == nil {
+		set = map[string]bool{}
+		idx[key] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+func (idx suppressionIndex) allows(file string, line int, analyzer string) bool {
+	set := idx[suppressKey(file, line)]
+	return set != nil && (set[analyzer] || set["all"])
+}
+
+func suppressKey(file string, line int) string {
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	// Avoid fmt in the hot path; lines fit easily in an int itoa.
+	b.WriteString(itoa(line))
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// buildSuppressions scans every comment in pkgs and records which lines
+// each //easyio:allow comment covers (its own line and the next).
+func buildSuppressions(pkgs []*Package) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					names := allowedNames(text)
+					if names == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					idx.add(pos.Filename, pos.Line, names)
+					idx.add(pos.Filename, pos.Line+1, names)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// filterSuppressed drops diagnostics covered by an //easyio:allow
+// comment.
+func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	idx := buildSuppressions(pkgs)
+	out := diags[:0]
+	for _, d := range diags {
+		if !idx.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

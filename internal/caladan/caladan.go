@@ -156,6 +156,12 @@ type UThread struct {
 
 	req         request
 	wakePending bool
+
+	// heldULocks counts ULocks this uthread currently owns. It is
+	// maintained only under the easyio_invariants build tag, where the
+	// two-level-locking assertion (no completion wait while holding a
+	// level-1 lock) consumes it.
+	heldULocks int
 }
 
 // Name returns the uthread's diagnostic name.
@@ -422,6 +428,11 @@ func (t *Task) Now() sim.Time { return t.ut.rt.eng.Now() }
 // UThread returns the underlying uthread (for Wake by completion
 // callbacks).
 func (t *Task) UThread() *UThread { return t.ut }
+
+// HeldULocks reports how many ULocks the uthread currently owns. The
+// count is maintained only under the easyio_invariants build tag and is
+// always zero otherwise.
+func (t *Task) HeldULocks() int { return t.ut.heldULocks }
 
 // Compute occupies the core for d of application/filesystem CPU work.
 func (t *Task) Compute(d sim.Duration) {

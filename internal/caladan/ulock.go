@@ -1,5 +1,7 @@
 package caladan
 
+import "github.com/easyio-sim/easyio/internal/invariants"
+
 // ULock is a uthread-aware mutex: contended lockers park (releasing their
 // core) and the lock is handed off FIFO, keeping the simulation
 // deterministic. It is the filesystems' per-inode "level-1" lock.
@@ -19,6 +21,9 @@ func (l *ULock) Lock(t *Task) {
 		l.held = true
 		if t != nil {
 			l.owner = t.ut
+			if invariants.Enabled {
+				t.ut.heldULocks++
+			}
 		}
 		return
 	}
@@ -28,12 +33,24 @@ func (l *ULock) Lock(t *Task) {
 	l.waiters = append(l.waiters, t.ut)
 	t.Park()
 	// Unlock handed ownership to us before waking.
+	if invariants.Enabled {
+		if l.owner != t.ut {
+			panic("caladan: ULock FIFO handoff woke " + t.ut.name + " without ownership")
+		}
+		t.ut.heldULocks++
+	}
 }
 
 // Unlock releases the mutex, handing it to the longest-waiting uthread.
 func (l *ULock) Unlock() {
 	if !l.held {
 		panic("caladan: unlock of unlocked ULock")
+	}
+	if invariants.Enabled && l.owner != nil {
+		l.owner.heldULocks--
+		if l.owner.heldULocks < 0 {
+			panic("caladan: ULock release count went negative for " + l.owner.name)
+		}
 	}
 	if len(l.waiters) == 0 {
 		l.held = false

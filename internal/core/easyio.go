@@ -23,6 +23,7 @@ import (
 	"github.com/easyio-sim/easyio/internal/caladan"
 	"github.com/easyio-sim/easyio/internal/dma"
 	"github.com/easyio-sim/easyio/internal/fsapi"
+	"github.com/easyio-sim/easyio/internal/invariants"
 	"github.com/easyio-sim/easyio/internal/nova"
 	"github.com/easyio-sim/easyio/internal/pmem"
 	"github.com/easyio-sim/easyio/internal/sim"
@@ -129,6 +130,12 @@ func (fs *FS) SetBusyPoll(v bool) { fs.opts.BusyPoll = v }
 // waitCompletion blocks the uthread until its operation's descriptors
 // land: Park releases the core (the harvested window); BusyPoll holds it.
 func (fs *FS) waitCompletion(t *caladan.Task) {
+	// Two-level locking (§4.3): the level-1 inode lock must have been
+	// released at metadata commit before the completion wait. The Naive
+	// ablation deliberately violates this (prolonged critical section).
+	if invariants.Enabled && !fs.opts.Naive && t.HeldULocks() > 0 {
+		panic("easyio: completion wait while holding a ULock (level-1 lock not released before park)")
+	}
 	if fs.opts.BusyPoll {
 		t.Wait()
 	} else {
@@ -207,8 +214,10 @@ func (fs *FS) WriteAtClass(t *caladan.Task, f *nova.File, off int64, data []byte
 	}
 
 	if fs.opts.Naive {
+		//easyio:allow lockbalance (ino.Mu ownership transfers to writeNaive, which releases it)
 		return fs.writeNaive(t, ino, off, data, start)
 	}
+	//easyio:allow lockbalance (ino.Mu ownership transfers to writeOrderless, which releases it)
 	return fs.writeOrderless(t, ino, off, data, class, start)
 }
 

@@ -1,0 +1,10 @@
+//go:build !easyio_invariants
+
+// Package invariants gates the runtime assertion layer. Build with
+// -tags easyio_invariants to compile the checks in; without the tag the
+// Enabled constant is false and every guarded check is eliminated by the
+// compiler, so the production build pays nothing.
+package invariants
+
+// Enabled reports whether runtime invariant assertions are compiled in.
+const Enabled = false

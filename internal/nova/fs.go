@@ -207,14 +207,21 @@ func (fs *FS) allocInode(kind byte) (*Inode, error) {
 func (fs *FS) dropInode(ino *Inode) {
 	fs.dev.WriteAt(ino.slotOff(), []byte{0})
 	fs.dev.Fence()
-	// Free data blocks.
+	// Free data blocks in sorted order: freeing in map-iteration order
+	// would make allocator state (and thus every later allocation)
+	// nondeterministic across runs.
 	if ino.index != nil {
-		freed := map[int64]bool{}
+		seen := map[int64]bool{}
+		blocks := make([]int64, 0, len(ino.index))
 		for _, b := range ino.index {
-			if !freed[b] {
-				fs.alloc.freeRun(Run{Off: b, Pages: 1})
-				freed[b] = true
+			if !seen[b] {
+				seen[b] = true
+				blocks = append(blocks, b)
 			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
+			fs.alloc.freeRun(Run{Off: b, Pages: 1})
 		}
 	}
 	// Free the log page chain.

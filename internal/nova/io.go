@@ -1,6 +1,8 @@
 package nova
 
 import (
+	"sort"
+
 	"github.com/easyio-sim/easyio/internal/caladan"
 	"github.com/easyio-sim/easyio/internal/perfmodel"
 	"github.com/easyio-sim/easyio/internal/sim"
@@ -317,12 +319,19 @@ func (fs *FS) Truncate(t *caladan.Task, f *File, size int64) error {
 	tail := fs.AppendEntries(ino, entries)
 	fs.CommitTail(ino, tail)
 	if size < ino.Size {
+		// Free truncated blocks in sorted page order; map order would
+		// leave the allocator bitmap history nondeterministic.
 		firstDead := (size + BlockSize - 1) / BlockSize
-		for pg, b := range ino.index {
+		var dead []int64
+		for pg := range ino.index {
 			if pg >= firstDead {
-				fs.alloc.freeRun(Run{Off: b, Pages: 1})
-				delete(ino.index, pg)
+				dead = append(dead, pg)
 			}
+		}
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		for _, pg := range dead {
+			fs.alloc.freeRun(Run{Off: ino.index[pg], Pages: 1})
+			delete(ino.index, pg)
 		}
 	}
 	ino.Size = size

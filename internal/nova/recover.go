@@ -1,5 +1,7 @@
 package nova
 
+import "sort"
+
 // Mount-time recovery. Order matters:
 //
 //  1. Journal rollback: an in-flight two-inode operation (rename/link) is
@@ -70,9 +72,15 @@ func (fs *FS) recover() error {
 	}
 	fs.dev.Fence()
 
-	// Step 4: allocator rebuild.
-	for _, pages := range logPages {
-		for _, p := range pages {
+	// Step 4: allocator rebuild, in sorted inode order so the bitmap is
+	// reconstructed deterministically (map order would not be).
+	logInos := make([]uint32, 0, len(logPages))
+	for num := range logPages {
+		logInos = append(logInos, num)
+	}
+	sort.Slice(logInos, func(i, j int) bool { return logInos[i] < logInos[j] })
+	for _, num := range logInos {
+		for _, p := range logPages[num] {
 			fs.alloc.markUsed(p, 1)
 			fs.logPageCount++
 		}
@@ -82,7 +90,14 @@ func (fs *FS) recover() error {
 		if ino == nil || ino.index == nil {
 			continue
 		}
+		blocks := make([]int64, 0, len(ino.index))
 		for _, b := range ino.index {
+			blocks = append(blocks, b)
+		}
+		// Sorted so the rebuilt allocator bitmap is filled in a
+		// deterministic order regardless of map iteration.
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
 			fs.alloc.markUsed(b, 1)
 		}
 	}
@@ -200,7 +215,15 @@ func (fs *FS) walkLogPositions(head, tail int64, visit func(e Entry, pos, next i
 // markReachable walks the directory tree marking every inode reachable
 // from dir.
 func (fs *FS) markReachable(dir *Inode, seen map[uint32]bool) {
-	for _, num := range dir.dirents {
+	// Traverse in sorted dentry-name order so the reachability walk (and
+	// anything derived from its visit order) is deterministic.
+	names := make([]string, 0, len(dir.dirents))
+	for name := range dir.dirents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		num := dir.dirents[name]
 		child := fs.inodes[num]
 		if child == nil || seen[num] {
 			continue

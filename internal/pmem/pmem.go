@@ -19,7 +19,9 @@ package pmem
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"github.com/easyio-sim/easyio/internal/invariants"
 	"github.com/easyio-sim/easyio/internal/perfmodel"
 	"github.com/easyio-sim/easyio/internal/sim"
 )
@@ -169,6 +171,10 @@ func (d *Device) ReadAt(b []byte, off int64) {
 // survive a crash in any subset — see CrashImage).
 func (d *Device) WriteAt(off int64, b []byte) {
 	d.check(off, len(b))
+	if invariants.Enabled && d.tracking && len(d.records) > 0 &&
+		d.records[len(d.records)-1].Epoch > d.epoch {
+		panic("pmem: persist record epoch regressed (fence ordering violated)")
+	}
 	if d.tracking {
 		cp := make([]byte, len(b))
 		copy(cp, b)
@@ -261,6 +267,9 @@ func (d *Device) removeFlow(f *Flow) {
 // advance applies elapsed virtual time to all flow progress counters.
 func (d *Device) advance() {
 	now := d.eng.Now()
+	if invariants.Enabled && now < d.lastAdv {
+		panic("pmem: device observed virtual time moving backwards")
+	}
 	dt := float64(now-d.lastAdv) / 1e9
 	d.lastAdv = now
 	if dt <= 0 {
@@ -356,9 +365,15 @@ func (d *Device) recompute() {
 		return
 	}
 
-	// Population counts.
+	// Population counts. DMA groups are keyed by (engine group, direction)
+	// and later iterated in sorted order so the allocation loop visits
+	// them deterministically (map range order would not be).
+	type dmaKey struct {
+		group int
+		write bool
+	}
 	var cpuR, cpuW int
-	dmaActive := map[[2]any]int{} // (group, write) -> count
+	dmaActive := map[dmaKey]int{}
 	for _, f := range d.flows {
 		if f.spec.Kind == FlowCPU {
 			if f.spec.Write {
@@ -367,9 +382,19 @@ func (d *Device) recompute() {
 				cpuR++
 			}
 		} else {
-			dmaActive[[2]any{f.spec.Group, f.spec.Write}]++
+			dmaActive[dmaKey{f.spec.Group, f.spec.Write}]++
 		}
 	}
+	dmaKeys := make([]dmaKey, 0, len(dmaActive))
+	for k := range dmaActive {
+		dmaKeys = append(dmaKeys, k)
+	}
+	sort.Slice(dmaKeys, func(i, j int) bool {
+		if dmaKeys[i].group != dmaKeys[j].group {
+			return dmaKeys[i].group < dmaKeys[j].group
+		}
+		return !dmaKeys[i].write && dmaKeys[j].write
+	})
 
 	// Allocation runs per direction, writes first: Optane reads degrade
 	// sharply under concurrent write pressure (media contention), which
@@ -398,8 +423,8 @@ func (d *Device) recompute() {
 			}
 			limit[i] = d.intrinsic(f, cpuR, cpuW) * readScale
 		}
-		for key, nact := range dmaActive {
-			group, wdir := key[0].(int), key[1].(bool)
+		for _, key := range dmaKeys {
+			group, wdir, nact := key.group, key.write, dmaActive[key]
 			if wdir != write {
 				continue
 			}

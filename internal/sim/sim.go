@@ -18,6 +18,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"github.com/easyio-sim/easyio/internal/invariants"
 )
 
 // Time is an absolute virtual timestamp in nanoseconds since simulation
@@ -80,6 +82,9 @@ type Engine struct {
 	stopped bool
 	// inEvent guards against Proc misuse (Resume outside event context).
 	inEvent bool
+	// running is the proc currently executing a slice, tracked only when
+	// the easyio_invariants build tag asserts single-running-proc.
+	running *Proc
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -134,6 +139,9 @@ func (e *Engine) step(deadline Time, bounded bool) bool {
 		if ev.dead {
 			continue
 		}
+		if invariants.Enabled && ev.t < e.now {
+			panic(fmt.Sprintf("sim: event heap yielded time %v before now %v", ev.t, e.now))
+		}
 		e.now = ev.t
 		e.inEvent = true
 		ev.fn()
@@ -168,6 +176,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// Sequence returns the total number of events ever scheduled — a cheap
+// determinism witness: two runs of the same scenario with the same seed
+// must end with identical sequence counters.
+func (e *Engine) Sequence() uint64 { return e.seq }
+
 // Pending reports the number of scheduled (non-cancelled) events.
 func (e *Engine) Pending() int {
 	n := 0
@@ -183,6 +196,7 @@ func (e *Engine) Pending() int {
 // called outside event context (after Run returns). The engine remains
 // usable for inspection but no further events should be scheduled.
 func (e *Engine) Shutdown() {
+	//easyio:allow maporder (kills are independent; post-run teardown order is unobservable)
 	for p := range e.procs {
 		p.kill()
 	}
@@ -264,19 +278,35 @@ func (p *Proc) SetTag(v any) { p.tag = v }
 // be called from event context (inside an event callback). It reports
 // whether the proc is still alive (paused) after this slice.
 func (p *Proc) Resume() bool {
+	if invariants.Enabled {
+		if !p.eng.inEvent {
+			panic("sim: Resume outside event context for proc " + p.name)
+		}
+		if r := p.eng.running; r != nil {
+			panic("sim: Resume of " + p.name + " while proc " + r.name + " is running")
+		}
+		p.eng.running = p
+	}
 	switch p.state {
 	case procDone:
+		if invariants.Enabled {
+			p.eng.running = nil
+		}
 		return false
 	case procRunning:
 		panic("sim: Resume on running proc " + p.name)
 	case procNew:
 		p.state = procRunning
+		//easyio:allow nakedgo (the one sanctioned goroutine: Proc coroutine backing)
 		go p.main()
 	case procPaused:
 		p.state = procRunning
 		p.resume <- false
 	}
 	<-p.yield
+	if invariants.Enabled {
+		p.eng.running = nil
+	}
 	return p.state != procDone
 }
 
