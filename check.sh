@@ -18,4 +18,14 @@ go test ./...
 echo '== go test -race -tags easyio_invariants ./...'
 go test -race -tags easyio_invariants ./...
 
+echo '== bench smoke (one iteration of every benchmark)'
+go test -bench=. -benchtime=1x -run '^$' ./internal/sim .
+
+echo '== parallel runner byte-identity (-parallel 4 vs sequential)'
+go build -o /tmp/easyio-bench-check ./cmd/easyio-bench
+/tmp/easyio-bench-check -exp all -quick -parallel 1 > /tmp/easyio-bench-seq.txt
+/tmp/easyio-bench-check -exp all -quick -parallel 4 > /tmp/easyio-bench-par.txt
+diff /tmp/easyio-bench-seq.txt /tmp/easyio-bench-par.txt
+rm -f /tmp/easyio-bench-check /tmp/easyio-bench-seq.txt /tmp/easyio-bench-par.txt
+
 echo 'check.sh: all gates green'

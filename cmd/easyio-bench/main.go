@@ -6,16 +6,21 @@
 //	easyio-bench -exp all            # everything (minutes)
 //	easyio-bench -exp fig9 -quick    # one figure, short windows
 //	easyio-bench -exp fig2,fig3,table2
+//	easyio-bench -exp all -parallel 8 -benchjson BENCH_sim.json
 //
 // Experiments: fig1 fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 table1
-// table2.
+// table2. Independent sweep points fan out across -parallel workers; the
+// output is byte-identical for any worker count (each sweep point is its
+// own virtual machine, and results are printed in sweep order).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/easyio-sim/easyio/internal/bench"
 	"github.com/easyio-sim/easyio/internal/sim"
@@ -26,7 +31,14 @@ func main() {
 	quick := flag.Bool("quick", false, "short measurement windows (smoke test)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	points := flag.Int("crashpoints", 1000, "crash states per Table 2 workload")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep-point jobs (output is identical for any value)")
+	benchjson := flag.String("benchjson", "", "write kernel perf + per-experiment wall-clock JSON to this file")
 	flag.Parse()
+
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	bench.Workers = *parallel
 
 	measure := 20 * sim.Millisecond
 	raw := 10 * sim.Millisecond
@@ -46,10 +58,16 @@ func main() {
 	}
 	all := want["all"]
 	ok := true
+	report := &bench.Report{Workers: *parallel}
 	run := func(name string, fn func()) {
 		if all || want[name] {
 			fmt.Printf("==== %s ====\n", name)
+			start := time.Now() //easyio:allow simtime (host-side wall-clock accounting for -benchjson)
 			fn()
+			report.Experiments = append(report.Experiments, bench.ExperimentTiming{
+				Name:   name,
+				WallMS: float64(time.Since(start).Microseconds()) / 1000, //easyio:allow simtime (host-side wall-clock accounting for -benchjson)
+			})
 		}
 	}
 
@@ -73,6 +91,23 @@ func main() {
 			ok = false
 		}
 	})
+
+	if *benchjson != "" {
+		report.Kernel = bench.MeasureKernelPerf()
+		f, err := os.Create(*benchjson)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !ok {
 		os.Exit(1)
 	}

@@ -18,6 +18,15 @@ func main() {
 	demoCrashRecovery()
 }
 
+// must unwraps (value, error) returns from the demo's filesystem calls:
+// the demo scripts a fixed scenario where no op can legitimately fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func demoHarvest() {
 	fmt.Println("== 1. harvesting the DMA window ==")
 	sys, err := easyio.New(easyio.Config{Cores: 1})
@@ -27,9 +36,9 @@ func demoHarvest() {
 	defer sys.Close()
 	computeDone := 0
 	sys.Go(0, "writer", func(t *easyio.Task) {
-		f, _ := sys.FS.Create(t, "/big")
+		f := must(sys.FS.Create(t, "/big"))
 		start := t.Now()
-		sys.FS.WriteAt(t, f, 0, make([]byte, 2<<20)) // ~170us of DMA
+		must(sys.FS.WriteAt(t, f, 0, make([]byte, 2<<20))) // ~170us of DMA
 		fmt.Printf("   2MB async write finished at %v; %d compute slices ran inside its DMA window\n",
 			t.Now()-start, computeDone)
 	})
@@ -52,14 +61,14 @@ func demoTwoLevelLock() {
 	defer sys.Close()
 	var f *easyio.File
 	sys.Go(0, "writer", func(t *easyio.Task) {
-		f, _ = sys.FS.Create(t, "/shared")
-		sys.FS.WriteAt(t, f, 0, make([]byte, 1<<20))
+		f = must(sys.FS.Create(t, "/shared"))
+		must(sys.FS.WriteAt(t, f, 0, make([]byte, 1<<20)))
 		fmt.Printf("   write's data landed at %v\n", t.Now())
 	})
 	sys.Go(1, "reader", func(t *easyio.Task) {
 		t.Sleep(10 * easyio.Microsecond)
 		buf := make([]byte, 4096)
-		sys.FS.ReadAt(t, f, 0, buf)
+		must(sys.FS.ReadAt(t, f, 0, buf))
 		fmt.Printf("   conflicting read returned at %v (gated on the in-flight DMA)\n", t.Now())
 	})
 	sys.Run()
@@ -73,9 +82,9 @@ func demoCrashRecovery() {
 	}
 	old := bytes.Repeat([]byte{'O'}, 256<<10)
 	sys.Go(0, "w", func(t *easyio.Task) {
-		f, _ := sys.FS.Create(t, "/f")
-		sys.FS.WriteAt(t, f, 0, old)
-		sys.FS.WriteAt(t, f, 0, bytes.Repeat([]byte{'N'}, 256<<10))
+		f := must(sys.FS.Create(t, "/f"))
+		must(sys.FS.WriteAt(t, f, 0, old))
+		must(sys.FS.WriteAt(t, f, 0, bytes.Repeat([]byte{'N'}, 256<<10)))
 	})
 	// Stop the world while the second write's DMA is in flight (its
 	// metadata is already committed).
@@ -91,6 +100,6 @@ func demoCrashRecovery() {
 		log.Fatal(err)
 	}
 	got := make([]byte, 1)
-	sys2.FS.FS.ReadAt(nil, f, 0, got)
+	must(sys2.FS.FS.ReadAt(nil, f, 0, got))
 	fmt.Printf("   after crash mid-DMA, recovery exposes the %c version (SN not durable -> entry discarded)\n", got[0])
 }

@@ -15,6 +15,15 @@ import (
 	"github.com/easyio-sim/easyio/internal/graph"
 )
 
+// must unwraps (value, error) from the example's filesystem calls; the
+// scripted scenario has no legitimate failure path.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	sys, err := easyio.New(easyio.Config{Cores: 4})
 	if err != nil {
@@ -41,10 +50,10 @@ func main() {
 	_ = done
 
 	sys.Go(0, "ingest", func(t *easyio.Task) {
-		f, _ := sys.FS.Create(t, "/logs.z")
-		sys.FS.WriteAt(t, f, 0, logCompressed)
-		gf, _ := sys.FS.Create(t, "/graph.bin")
-		sys.FS.WriteAt(t, gf, 0, graphBlob)
+		f := must(sys.FS.Create(t, "/logs.z"))
+		must(sys.FS.WriteAt(t, f, 0, logCompressed))
+		gf := must(sys.FS.Create(t, "/graph.bin"))
+		must(sys.FS.WriteAt(t, gf, 0, graphBlob))
 		fmt.Printf("[%v] ingested %d KB compressed logs + %d KB graph\n",
 			t.Now(), len(logCompressed)>>10, len(graphBlob)>>10)
 

@@ -13,6 +13,15 @@ import (
 	easyio "github.com/easyio-sim/easyio"
 )
 
+// must unwraps (value, error) from the example's filesystem calls; the
+// scripted scenario has no legitimate failure path.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	sys, err := easyio.New(easyio.Config{Cores: 1, TrackPersistence: true})
 	if err != nil {
@@ -24,12 +33,12 @@ func main() {
 
 	var commitAt easyio.Time
 	sys.Go(0, "writer", func(t *easyio.Task) {
-		f, _ := sys.FS.Create(t, "/config")
-		sys.FS.WriteAt(t, f, 0, oldVersion)
+		f := must(sys.FS.Create(t, "/config"))
+		must(sys.FS.WriteAt(t, f, 0, oldVersion))
 		commitAt = t.Now()
 		// The overwrite's metadata commits ~10us in; its 300KB DMA takes
 		// ~25us more.
-		sys.FS.WriteAt(t, f, 0, newVersion)
+		must(sys.FS.WriteAt(t, f, 0, newVersion))
 	})
 
 	// Let the simulation run just past the second write's metadata
@@ -49,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	got := make([]byte, f.Size())
-	recovered.FS.FS.ReadAt(nil, f, 0, got)
+	must(recovered.FS.FS.ReadAt(nil, f, 0, got))
 	switch {
 	case bytes.Equal(got, oldVersion):
 		fmt.Println("recovered: consistent OLD version (incomplete write discarded by SN check)")
@@ -61,10 +70,10 @@ func main() {
 
 	// The file stays fully usable after recovery.
 	recovered.Go(0, "resume", func(t *easyio.Task) {
-		recovered.FS.WriteAt(t, f, 0, []byte("post-crash write"))
+		must(recovered.FS.WriteAt(t, f, 0, []byte("post-crash write")))
 	})
 	recovered.Run()
 	buf := make([]byte, 16)
-	recovered.FS.FS.ReadAt(nil, f, 0, buf)
+	must(recovered.FS.FS.ReadAt(nil, f, 0, buf))
 	fmt.Printf("post-crash write works: %q\n", buf)
 }

@@ -9,6 +9,15 @@ import (
 	easyio "github.com/easyio-sim/easyio"
 )
 
+// must unwraps (value, error) from the example's filesystem calls; the
+// scripted scenario has no legitimate failure path.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	sys, err := easyio.New(easyio.Config{Cores: 2})
 	if err != nil {
@@ -39,16 +48,16 @@ func main() {
 		fmt.Printf("wrote %d KB at virtual time %v\n", len(payload)>>10, t.Now())
 
 		buf := make([]byte, 26)
-		sys.FS.ReadAt(t, f, 0, buf)
+		must(sys.FS.ReadAt(t, f, 0, buf))
 		fmt.Printf("read back: %q\n", buf)
 
 		if err := sys.FS.Rename(t, "/data/report.txt", "/data/final.txt"); err != nil {
 			log.Fatal(err)
 		}
-		st, _ := sys.FS.Stat(t, "/data/final.txt")
+		st := must(sys.FS.Stat(t, "/data/final.txt"))
 		fmt.Printf("renamed; size=%d bytes, nlink=%d\n", st.Size, st.Nlink)
 
-		names, _ := sys.FS.Readdir(t, "/data")
+		names := must(sys.FS.Readdir(t, "/data"))
 		fmt.Printf("directory listing: %v\n", names)
 	})
 	sys.Run()

@@ -14,6 +14,15 @@ import (
 	"github.com/easyio-sim/easyio/internal/core"
 )
 
+// must unwraps (value, error) from the example's filesystem calls; the
+// scripted scenario has no legitimate failure path.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	throttle := flag.Bool("throttle", true, "enable the channel manager's QoS loop")
 	flag.Parse()
@@ -34,9 +43,9 @@ func main() {
 		mgr.Start()
 	}
 
-	web, _ := sys.FS.Create(nil, "/site-index")
-	sys.FS.FS.WriteAt(nil, web, 0, make([]byte, 1<<20))
-	gcDst, _ := sys.FS.Create(nil, "/gc-target")
+	web := must(sys.FS.Create(nil, "/site-index"))
+	must(sys.FS.FS.WriteAt(nil, web, 0, make([]byte, 1<<20)))
+	gcDst := must(sys.FS.Create(nil, "/gc-target"))
 
 	end := easyio.Time(8 * easyio.Millisecond)
 
@@ -48,7 +57,7 @@ func main() {
 		buf := make([]byte, 64<<10)
 		for t.Now() < end {
 			start := t.Now()
-			sys.FS.ReadAt(t, web, 0, buf)
+			must(sys.FS.ReadAt(t, web, 0, buf))
 			d := easyio.Duration(t.Now() - start)
 			lapp.Report(d)
 			sum += d
@@ -65,7 +74,7 @@ func main() {
 	sys.Go(1, "gc", func(t *easyio.Task) {
 		buf := make([]byte, 2<<20)
 		for t.Now() < end {
-			sys.FS.WriteAtClass(t, gcDst, 0, buf, easyio.ClassB)
+			must(sys.FS.WriteAtClass(t, gcDst, 0, buf, easyio.ClassB))
 			gcBytes += int64(len(buf))
 		}
 	})

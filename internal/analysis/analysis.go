@@ -8,11 +8,12 @@
 // diagnostic reporter with positions, an //easyio:allow suppression
 // mechanism (suppress.go), and a registry of analyzers:
 //
-//	simtime     - no wall-clock time in simulation code (sim.Time only)
-//	detrand     - no math/rand or crypto/rand outside internal/rng
-//	nakedgo     - no go statements outside the sim.Proc machinery
-//	maporder    - no order-dependent side effects inside map iteration
-//	lockbalance - no return/panic path that leaks an acquired lock
+//	simtime       - no wall-clock time in simulation code (sim.Time only)
+//	detrand       - no math/rand or crypto/rand outside internal/rng
+//	nakedgo       - no go statements outside the sim.Proc machinery
+//	maporder      - no order-dependent side effects inside map iteration
+//	lockbalance   - no return/panic path that leaks an acquired lock
+//	errcheck-pmem - no discarded errors from the pmem/dma/filesystem layers
 //
 // cmd/easyio-vet is the CLI driver; it exits nonzero on findings, so CI
 // gates every PR on these invariants.
@@ -64,7 +65,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer registry in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simtime, Detrand, NakedGo, MapOrder, LockBalance}
+	return []*Analyzer{Simtime, Detrand, NakedGo, MapOrder, LockBalance, ErrcheckPmem}
 }
 
 // ByName resolves registry names; unknown names are an error.

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheckTrackedSuffixes are the package paths whose error returns must
+// not be silently discarded. These are the layers where an ignored error
+// hides a corrupted simulation: a failed filesystem op, a rejected DMA
+// descriptor or a bad device access makes every later virtual-time
+// number meaningless, while the run itself keeps going.
+var errcheckTrackedSuffixes = []string{
+	"internal/pmem",
+	"internal/dma",
+	"internal/nova",
+	"internal/core",
+	"internal/odinfs",
+	"internal/fsapi",
+}
+
+// ErrcheckPmem flags discarded errors from the storage stack: calls into
+// the tracked packages whose error result is dropped, either as a bare
+// expression statement or assigned to the blank identifier.
+var ErrcheckPmem = &Analyzer{
+	Name: "errcheck-pmem",
+	Doc:  "forbid discarding errors returned by the pmem/dma/filesystem layers",
+	Run:  runErrcheckPmem,
+}
+
+func errcheckTracked(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, suf := range errcheckTrackedSuffixes {
+		if strings.HasSuffix(pkg.Path(), suf) {
+			return true
+		}
+	}
+	return false
+}
+
+var errcheckErrType = types.Universe.Lookup("error").Type()
+
+// errcheckCallee resolves the package that declares the called function,
+// method, or interface method. Returns nil when type information is
+// unavailable (the analysis then stays silent rather than guessing).
+func errcheckCallee(info *types.Info, call *ast.CallExpr) (types.Object, *types.Package) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			return obj, obj.Pkg()
+		}
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			return obj, obj.Pkg()
+		}
+	}
+	return nil, nil
+}
+
+// errcheckResults returns the result tuple of the call, or nil.
+func errcheckResults(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	if info.Types == nil {
+		return nil
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+func runErrcheckPmem(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	// trackedErrCall reports whether the call targets a tracked package
+	// and returns its result tuple plus the callee name for the message.
+	trackedErrCall := func(call *ast.CallExpr) (*types.Tuple, string, bool) {
+		obj, pkg := errcheckCallee(info, call)
+		if !errcheckTracked(pkg) {
+			return nil, "", false
+		}
+		res := errcheckResults(info, call)
+		if res == nil {
+			return nil, "", false
+		}
+		return res, obj.Name(), true
+	}
+	pass.walkFiles(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				res, name, ok := trackedErrCall(call)
+				if !ok {
+					return true
+				}
+				for i := 0; i < res.Len(); i++ {
+					if types.Identical(res.At(i).Type(), errcheckErrType) {
+						pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or //easyio:allow errcheck-pmem with a rationale", name)
+						return true
+					}
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 {
+					call, ok := st.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					res, name, ok := trackedErrCall(call)
+					if !ok || res.Len() != len(st.Lhs) {
+						return true
+					}
+					for i, lhs := range st.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if ok && id.Name == "_" && types.Identical(res.At(i).Type(), errcheckErrType) {
+							pass.Reportf(id.Pos(), "error returned by %s is assigned to _; handle it or //easyio:allow errcheck-pmem with a rationale", name)
+						}
+					}
+					return true
+				}
+				// Parallel assignment: each RHS is a single-result call.
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, rhs := range st.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						res, name, ok := trackedErrCall(call)
+						if !ok || res.Len() != 1 {
+							continue
+						}
+						id, isIdent := st.Lhs[i].(*ast.Ident)
+						if isIdent && id.Name == "_" && types.Identical(res.At(0).Type(), errcheckErrType) {
+							pass.Reportf(id.Pos(), "error returned by %s is assigned to _; handle it or //easyio:allow errcheck-pmem with a rationale", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}

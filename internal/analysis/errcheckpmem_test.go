@@ -1,0 +1,91 @@
+package analysis
+
+import "testing"
+
+func TestErrcheckPmem(t *testing.T) {
+	// The fixture plays the role of a tracked storage-layer package: the
+	// analyzer matches packages by path suffix, so calls to the fixture's
+	// own error-returning functions and methods are tracked calls.
+	const trackedPath = "example.com/internal/pmem"
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{"bare call statement flagged", trackedPath, `package pmem
+type Device struct{}
+func (d *Device) Flush() error { return nil }
+func bad(d *Device) {
+	d.Flush()
+}
+`, 1},
+		{"blank single assign flagged", trackedPath, `package pmem
+func Submit() error { return nil }
+func bad() {
+	_ = Submit()
+}
+`, 1},
+		{"blank in multi-result flagged", trackedPath, `package pmem
+type FS struct{}
+func (fs *FS) Create(path string) (int, error) { return 0, nil }
+func bad(fs *FS) int {
+	f, _ := fs.Create("/x")
+	return f
+}
+`, 1},
+		{"handled error not flagged", trackedPath, `package pmem
+type Device struct{}
+func (d *Device) Flush() error { return nil }
+func ok(d *Device) error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+`, 0},
+		{"non-error results not flagged", trackedPath, `package pmem
+type Device struct{}
+func (d *Device) Size() int64 { return 0 }
+func ok(d *Device) {
+	d.Size()
+	_ = d.Size()
+}
+`, 0},
+		{"untracked package not flagged", "example.com/internal/stats", `package stats
+func Submit() error { return nil }
+func fine() {
+	Submit()
+	_ = Submit()
+}
+`, 0},
+		{"interface method flagged", trackedPath, `package pmem
+type FileSystem interface {
+	Unlink(path string) error
+}
+func bad(fs FileSystem) {
+	fs.Unlink("/x")
+}
+`, 1},
+		{"parallel assign flagged", trackedPath, `package pmem
+func Sync() error { return nil }
+func bad() int {
+	n, _ := 1, Sync()
+	return n
+}
+`, 1},
+		{"suppressed with allow comment", trackedPath, `package pmem
+type Device struct{}
+func (d *Device) Flush() error { return nil }
+func probe(d *Device) {
+	//easyio:allow errcheck-pmem (fresh device in a microbenchmark; Flush cannot fail)
+	d.Flush()
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runFixture(t, ErrcheckPmem, tc.path, tc.src), tc.want, "errcheck-pmem")
+		})
+	}
+}

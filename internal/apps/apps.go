@@ -131,10 +131,14 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 			}
 			for task.Now() < end {
 				opStart := task.Now()
-				fs.ReadAt(task, inputs[i], 0, rbuf)
+				if _, err := fs.ReadAt(task, inputs[i], 0, rbuf); err != nil {
+					panic("apps: read: " + err.Error())
+				}
 				task.Compute(spec.Compute)
 				if spec.WriteSize > 0 {
-					fs.WriteAt(task, outputs[i], 0, wbuf)
+					if _, err := fs.WriteAt(task, outputs[i], 0, wbuf); err != nil {
+						panic("apps: write: " + err.Error())
+					}
 				}
 				// Count by completion time: ops are long relative to the
 				// window (JPGDecoder ~12 ms), so gating on start time

@@ -78,8 +78,9 @@ func AblationDSAMode(w io.Writer, span sim.Duration, seed uint64) {
 		return result{premium.Mean(), premium.P99(), premium.Max()}
 	}
 	tb := stats.NewTable("engine", "premium mean(us)", "p99(us)", "max(us)")
-	ioat := run(false)
-	dsaR := run(true)
+	var res [2]result
+	runJobs(2, func(i int) { res[i] = run(i == 1) })
+	ioat, dsaR := res[0], res[1]
 	tb.AddRow("I/OAT shared channels", ioat.mean.Micros(), ioat.p99.Micros(), ioat.max.Micros())
 	tb.AddRow("DSA per-app WQ + priority", dsaR.mean.Micros(), dsaR.p99.Micros(), dsaR.max.Micros())
 	fpf(w, "Ablation — DSA-mode channel manager (§5): premium L-app latency among 8 L-apps\n%s\n", tb)
@@ -91,11 +92,15 @@ func AblationDSAMode(w io.Writer, span sim.Duration, seed uint64) {
 // load.
 func AblationPollCost(w io.Writer, measure sim.Duration, seed uint64) {
 	tb := stats.NewTable("poll-cost(ns)", "64K write avg(us)", "p99(us)")
-	for _, poll := range []sim.Duration{10, 40, 160, 640} {
+	polls := []sim.Duration{10, 40, 160, 640}
+	lats := make([]*stats.Recorder, len(polls))
+	runJobs(len(polls), func(i int) {
 		cpu := perfmodel.DefaultCPU()
-		cpu.PollCheck = poll
-		lat := measureWriteLatencyWithCPU(cpu, 64<<10, measure, seed)
-		tb.AddRow(int64(poll), lat.Mean().Micros(), lat.P99().Micros())
+		cpu.PollCheck = polls[i]
+		lats[i] = measureWriteLatencyWithCPU(cpu, 64<<10, measure, seed)
+	})
+	for i, poll := range polls {
+		tb.AddRow(int64(poll), lats[i].Mean().Micros(), lats[i].P99().Micros())
 	}
 	fpf(w, "Ablation — completion-poll cost sweep (EasyIO, 4 cores, 64KB writes)\n%s\n", tb)
 }
@@ -110,28 +115,33 @@ func AblationOffloadThreshold(w io.Writer) {
 		header = append(header, sizeLabel(s)+" write(us)")
 	}
 	tb := stats.NewTable(header...)
-	for _, c := range cut {
-		row := []any{sizeLabel(c)}
-		for _, size := range sizes {
-			inst, err := NewInstance(SysEasyIO, 1, InstanceOptions{BusyPoll: true})
-			if err != nil {
-				panic(err)
+	durs := make([]sim.Duration, len(cut)*len(sizes))
+	runJobs(len(durs), func(ji int) {
+		c, size := cut[ji/len(sizes)], sizes[ji%len(sizes)]
+		inst, err := NewInstance(SysEasyIO, 1, InstanceOptions{BusyPoll: true})
+		if err != nil {
+			panic(err)
+		}
+		inst.CoreFS.SetMinDMASize(c)
+		var dur sim.Duration
+		inst.RT.Spawn(0, "probe", func(task *caladan.Task) {
+			f := mustIO(inst.FS.Create(task, "/p"))
+			buf := make([]byte, size)
+			mustIO(inst.FS.WriteAt(task, f, 0, buf))
+			start := task.Now()
+			for i := 0; i < 8; i++ {
+				mustIO(inst.FS.WriteAt(task, f, 0, buf))
 			}
-			inst.CoreFS.SetMinDMASize(c)
-			var dur sim.Duration
-			inst.RT.Spawn(0, "probe", func(task *caladan.Task) {
-				f, _ := inst.FS.Create(task, "/p")
-				buf := make([]byte, size)
-				inst.FS.WriteAt(task, f, 0, buf)
-				start := task.Now()
-				for i := 0; i < 8; i++ {
-					inst.FS.WriteAt(task, f, 0, buf)
-				}
-				dur = sim.Duration(task.Now()-start) / 8
-			})
-			inst.Eng.Run()
-			inst.Close()
-			row = append(row, dur.Micros())
+			dur = sim.Duration(task.Now()-start) / 8
+		})
+		inst.Eng.Run()
+		inst.Close()
+		durs[ji] = dur
+	})
+	for ci, c := range cut {
+		row := []any{sizeLabel(c)}
+		for si := range sizes {
+			row = append(row, durs[ci*len(sizes)+si].Micros())
 		}
 		tb.AddRow(row...)
 	}
@@ -154,11 +164,11 @@ func measureWriteLatencyWithCPU(cpu perfmodel.CPU, size int, measure sim.Duratio
 	for i := 0; i < 8; i++ {
 		i := i
 		inst.RT.Spawn(i%4, "w", func(task *caladan.Task) {
-			f, _ := inst.FS.Create(task, fpfS("/w%d", i))
+			f := mustIO(inst.FS.Create(task, fpfS("/w%d", i)))
 			buf := make([]byte, size)
 			for task.Now() < end {
 				start := task.Now()
-				inst.FS.WriteAt(task, f, 0, buf)
+				mustIO(inst.FS.WriteAt(task, f, 0, buf))
 				lat.Add(sim.Duration(task.Now() - start))
 			}
 		})

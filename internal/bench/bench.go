@@ -171,3 +171,14 @@ func newMicroEngine(dev *pmem.Device, chans int) *dma.Engine {
 
 // fpfS is Sprintf, terse.
 func fpfS(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// mustIO unwraps a (value, error) return from a driver probe. Probes run
+// against freshly formatted filesystems and idle DMA channels, where
+// these operations cannot fail; if one ever does, the printed figures
+// would be garbage, so the driver dies loudly instead.
+func mustIO[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/fxmark"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// The golden-digest corpus pins the exact virtual-time behaviour of every
+// system under test. Each entry runs a short FxMark window on a fresh
+// instance and folds every observable (counters, clock, event sequence,
+// latency distribution, per-core dispatch counts, and the resulting
+// file layout) into one FNV-64 digest. The digests are committed under
+// testdata/, so any perf-model or kernel refactor that shifts a single
+// event surfaces as explicit digest churn in review.
+//
+// Regenerate with:
+//
+//	go test ./internal/bench -run TestDigestCorpus -update-digests
+
+var updateDigests = flag.Bool("update-digests", false, "rewrite the golden digest corpus")
+
+// corpusSeed is the pinned seed of the committed corpus.
+const corpusSeed = 42
+
+// corpusEntry is one (system, workload) cell of the corpus.
+type corpusEntry struct {
+	Sys System
+	WL  fxmark.Workload
+}
+
+// corpusEntries covers all four systems crossed with one low-sharing
+// write workload (DWAL) and one medium-sharing overwrite workload (DWOM).
+func corpusEntries() []corpusEntry {
+	var out []corpusEntry
+	for _, sys := range AllSystems() {
+		for _, wl := range []fxmark.Workload{fxmark.DWAL, fxmark.DWOM} {
+			out = append(out, corpusEntry{sys, wl})
+		}
+	}
+	return out
+}
+
+// inoder is satisfied by every FS under test (they all embed *nova.FS);
+// it exposes the inode table for the layout witness.
+type inoder interface {
+	Inode(num uint32) *nova.Inode
+}
+
+// corpusDigest runs one corpus cell and returns its digest.
+func corpusDigest(t *testing.T, sys System, wl fxmark.Workload, seed uint64) uint64 {
+	t.Helper()
+	const cores = 4
+	inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
+		Workload: wl,
+		Cores:    cores,
+		Uthreads: cores * inst.UtPerCore,
+		IOSize:   16 << 10,
+		Seed:     seed,
+		Warmup:   sim.Millisecond,
+		Measure:  3 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	write := func(label string, v int64) {
+		fmt.Fprintf(h, "%s=%d;", label, v)
+	}
+	write("ops", res.Ops)
+	write("bytes", res.Bytes)
+	write("now", int64(inst.Eng.Now()))
+	write("seq", int64(inst.Eng.Sequence()))
+	write("lat.count", int64(res.Lat.Count()))
+	write("lat.mean", int64(res.Lat.Mean()))
+	write("lat.p50", int64(res.Lat.P50()))
+	write("lat.p99", int64(res.Lat.P99()))
+	write("lat.max", int64(res.Lat.Max()))
+	for i := 0; i < inst.RT.NumCores(); i++ {
+		write(fmt.Sprintf("core%d.switches", i), inst.RT.Core(i).Switches())
+	}
+	// Layout witness: the page->block mapping (and log tail) of every
+	// file the workload touched is a function of the full operation
+	// stream, including seeded offsets; the aggregate counters above are
+	// offset-invariant under this perf model.
+	ing, ok := inst.FS.(inoder)
+	if !ok {
+		t.Fatalf("%s: FS does not expose Inode()", sys)
+	}
+	paths := []string{"/fxmark-shared"}
+	if wl == fxmark.DWAL {
+		paths = nil
+		for i := 0; i < cores*inst.UtPerCore; i++ {
+			paths = append(paths, fmt.Sprintf("/fxmark-%d", i))
+		}
+	}
+	for _, path := range paths {
+		st, err := inst.FS.Stat(nil, path)
+		if err != nil {
+			t.Fatalf("%s: stat %s: %v", sys, path, err)
+		}
+		ino := ing.Inode(st.Ino)
+		write(path+".size", st.Size)
+		write(path+".tail", ino.LogTail())
+		for pg := int64(0); pg*nova.BlockSize < st.Size; pg++ {
+			write(fmt.Sprintf("%s.pg%d", path, pg), ino.BlockFor(pg))
+		}
+	}
+	if res.Ops == 0 {
+		t.Fatalf("%s/%s: measure window completed zero operations; digest is vacuous", sys, wl)
+	}
+	return h.Sum64()
+}
+
+// goldenPath keys the corpus file by GOARCH: the digests fold float64
+// arbitration arithmetic, which Go only guarantees to be reproducible on
+// a fixed architecture (FMA contraction differs across targets).
+func goldenPath() string {
+	return filepath.Join("testdata", fmt.Sprintf("digests_%s.golden", runtime.GOARCH))
+}
+
+func corpusKey(e corpusEntry) string {
+	return fmt.Sprintf("%s/%s/seed%d", e.Sys, e.WL, corpusSeed)
+}
+
+// TestDigestCorpus checks every corpus cell against the committed golden
+// digests and verifies same-seed stability of each cell.
+func TestDigestCorpus(t *testing.T) {
+	got := map[string]uint64{}
+	for _, e := range corpusEntries() {
+		e := e
+		t.Run(fmt.Sprintf("%s-%s", e.Sys, e.WL), func(t *testing.T) {
+			d := corpusDigest(t, e.Sys, e.WL, corpusSeed)
+			got[corpusKey(e)] = d
+		})
+	}
+
+	if *updateDigests {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# golden determinism digests (seed %d, GOARCH %s)\n", corpusSeed, runtime.GOARCH)
+		fmt.Fprintf(&b, "# regenerate: go test ./internal/bench -run TestDigestCorpus -update-digests\n")
+		for _, e := range corpusEntries() {
+			k := corpusKey(e)
+			fmt.Fprintf(&b, "%s %#016x\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skipf("no golden corpus for GOARCH %s; generate one with -update-digests", runtime.GOARCH)
+		}
+		t.Fatal(err)
+	}
+	want := map[string]uint64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			t.Fatalf("malformed golden line %q: %v", line, err)
+		}
+		want[fields[0]] = v
+	}
+	for _, e := range corpusEntries() {
+		k := corpusKey(e)
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden corpus; regenerate with -update-digests", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: digest %#016x, golden %#016x — virtual-time behaviour changed; if intended, regenerate with -update-digests", k, got[k], w)
+		}
+	}
+}
+
+// TestCorpusSeedSensitivity proves the corpus digests have discriminating
+// power: a different seed must diverge on the seeded-offset workload for
+// every system.
+func TestCorpusSeedSensitivity(t *testing.T) {
+	for _, sys := range AllSystems() {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			a := corpusDigest(t, sys, fxmark.DWOM, corpusSeed)
+			b := corpusDigest(t, sys, fxmark.DWOM, corpusSeed+1)
+			if a == b {
+				t.Fatalf("%s: seeds %d and %d produced identical digest %#x; no discriminating power", sys, corpusSeed, corpusSeed+1, a)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"io"
+	"math"
 
 	"github.com/easyio-sim/easyio/internal/apps"
 	"github.com/easyio-sim/easyio/internal/caladan"
@@ -53,25 +54,39 @@ func Fig10(w io.Writer, measure sim.Duration, seed uint64) {
 		appRun{"Webserver", runFB(filebench.Webserver)},
 	)
 
-	for _, app := range runs {
+	systems := AllSystems()
+	// One job per (app, system, cores) sweep point; skipped cells (cores
+	// beyond a system's budget) stay NaN and print as "-".
+	thr := make([]float64, len(runs)*len(systems)*len(fig10Cores))
+	runJobs(len(thr), func(i int) {
+		app := runs[i/(len(systems)*len(fig10Cores))]
+		sys := systems[(i/len(fig10Cores))%len(systems)]
+		cores := fig10Cores[i%len(fig10Cores)]
+		if cores > MaxWorkerCores(sys) {
+			thr[i] = math.NaN()
+			return
+		}
+		inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		thr[i] = app.run(inst, cores)
+		inst.Close()
+	})
+	for ai, app := range runs {
 		tb := stats.NewTable(append([]string{"system"}, coreHeaders(fig10Cores)...)...)
 		peak := map[System]float64{}
-		for _, sys := range AllSystems() {
+		for yi, sys := range systems {
 			row := []any{string(sys)}
-			for _, cores := range fig10Cores {
-				if cores > MaxWorkerCores(sys) {
+			for ci := range fig10Cores {
+				v := thr[(ai*len(systems)+yi)*len(fig10Cores)+ci]
+				if math.IsNaN(v) {
 					row = append(row, "-")
 					continue
 				}
-				inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
-				if err != nil {
-					panic(err)
-				}
-				thr := app.run(inst, cores)
-				inst.Close()
-				row = append(row, thr)
-				if thr > peak[sys] {
-					peak[sys] = thr
+				row = append(row, v)
+				if v > peak[sys] {
+					peak[sys] = v
 				}
 			}
 			tb.AddRow(row...)
@@ -87,11 +102,16 @@ func Fig10(w io.Writer, measure sim.Duration, seed uint64) {
 // (shared-file write throughput under lock contention with colocated
 // compute uthreads, work stealing disabled).
 func Fig11(w io.Writer, measure sim.Duration, seed uint64) {
-	// Left: orderless file operation.
+	// Left: orderless file operation. One job per (size, system) latency
+	// probe; the table derives the reduction column from the slot pairs.
+	sysPair := []System{SysEasyIO, SysNaive}
+	lat := make([]sim.Duration, len(fig8Sizes)*len(sysPair))
+	runJobs(len(lat), func(i int) {
+		lat[i], _ = measureOpLatency(sysPair[i%len(sysPair)], "write", fig8Sizes[i/len(sysPair)])
+	})
 	tb := stats.NewTable("io-size", "EasyIO(us)", "Naive(us)", "reduction")
-	for _, size := range fig8Sizes {
-		e, _ := measureOpLatency(SysEasyIO, "write", size)
-		n, _ := measureOpLatency(SysNaive, "write", size)
+	for si, size := range fig8Sizes {
+		e, n := lat[si*len(sysPair)], lat[si*len(sysPair)+1]
 		tb.AddRow(sizeLabel(size), e.Micros(), n.Micros(), 1-float64(e)/float64(n))
 	}
 	fpf(w, "Figure 11 (left) — orderless file operation: write latency\n%s\n", tb)
@@ -99,13 +119,15 @@ func Fig11(w io.Writer, measure sim.Duration, seed uint64) {
 	// Right: two-level locking under DWOM contention. Per §6.4.2: work
 	// stealing disabled, two uthreads per core — one running DWOM on a
 	// shared file, the other pure computation.
+	lockCores := []int{2, 4, 6, 8}
+	thr := make([]float64, len(lockCores)*len(sysPair))
+	runJobs(len(thr), func(i int) {
+		thr[i] = runLockContention(sysPair[i%len(sysPair)], lockCores[i/len(sysPair)], measure, seed)
+	})
 	tb2 := stats.NewTable("cores", "EasyIO(ops/s)", "Naive(ops/s)", "gain")
-	for _, cores := range []int{2, 4, 6, 8} {
-		thr := map[System]float64{}
-		for _, sys := range []System{SysEasyIO, SysNaive} {
-			thr[sys] = runLockContention(sys, cores, measure, seed)
-		}
-		tb2.AddRow(cores, thr[SysEasyIO], thr[SysNaive], thr[SysEasyIO]/thr[SysNaive]-1)
+	for ci, cores := range lockCores {
+		e, n := thr[ci*len(sysPair)], thr[ci*len(sysPair)+1]
+		tb2.AddRow(cores, e, n, e/n-1)
 	}
 	fpf(w, "Figure 11 (right) — two-level locking: DWOM throughput with colocated compute\n%s\n", tb2)
 }
@@ -151,7 +173,12 @@ func runLockContention(sys System, cores int, measure sim.Duration, seed uint64)
 func Fig12(w io.Writer, span sim.Duration, seed uint64) {
 	modes := []string{"No-Throttling", "CPU-Throttling", "DMA-Throttling"}
 	tb := stats.NewTable("mode", "idle-mean(us)", "gc-mean(us)", "gc-max(us)", "gc-p99(us)")
-	for _, mode := range modes {
+	type fig12Row struct {
+		idleMean, gcMean, gcMax, gcP99 float64
+	}
+	rows := make([]fig12Row, len(modes))
+	runJobs(len(modes), func(mi int) {
+		mode := modes[mi]
 		mgr := core.ManagerOptions{BLimit: 1e18} // effectively unlimited
 		if mode == "DMA-Throttling" {
 			mgr = core.ManagerOptions{BLimit: 2e9} // 2 GB/s (§6.4.3)
@@ -165,9 +192,9 @@ func Fig12(w io.Writer, span sim.Duration, seed uint64) {
 			fs.Manager().Start()
 		}
 		// File set for the web server.
-		webFile, _ := fs.Create(nil, "/web")
-		fs.FS.WriteAt(nil, webFile, 0, make([]byte, 1<<20))
-		gcFile, _ := fs.Create(nil, "/gcdst")
+		webFile := mustIO(fs.Create(nil, "/web"))
+		mustIO(fs.FS.WriteAt(nil, webFile, 0, make([]byte, 1<<20)))
+		gcFile := mustIO(fs.Create(nil, "/gcdst"))
 
 		end := sim.Time(span)
 		gcStart, gcEnd := end/3, 2*end/3
@@ -187,7 +214,7 @@ func Fig12(w io.Writer, span sim.Duration, seed uint64) {
 				inst.RT.Spawn(reqPool%2, "req", func(task *caladan.Task) {
 					start := task.Now()
 					buf := make([]byte, 64<<10)
-					fs.ReadAt(task, webFile, 0, buf)
+					mustIO(fs.ReadAt(task, webFile, 0, buf))
 					d := sim.Duration(task.Now() - start)
 					if start >= gcStart && start < gcEnd {
 						busy.Add(d)
@@ -205,7 +232,7 @@ func Fig12(w io.Writer, span sim.Duration, seed uint64) {
 			task.Sleep(sim.Duration(gcStart))
 			buf := make([]byte, 2<<20)
 			for task.Now() < gcEnd {
-				fs.WriteAtClass(task, gcFile, 0, buf, core.ClassB)
+				mustIO(fs.WriteAtClass(task, gcFile, 0, buf, core.ClassB))
 				if mode == "CPU-Throttling" {
 					// Caladan-style CPU quota on the GC: the tiny slice
 					// still suffices to submit descriptors, so DMA
@@ -216,7 +243,11 @@ func Fig12(w io.Writer, span sim.Duration, seed uint64) {
 		})
 		inst.Eng.RunUntil(end)
 		inst.Close()
-		tb.AddRow(mode, idle.Mean().Micros(), busy.Mean().Micros(), busy.Max().Micros(), busy.P99().Micros())
+		rows[mi] = fig12Row{idle.Mean().Micros(), busy.Mean().Micros(), busy.Max().Micros(), busy.P99().Micros()}
+	})
+	for mi, mode := range modes {
+		r := rows[mi]
+		tb.AddRow(mode, r.idleMean, r.gcMean, r.gcMax, r.gcP99)
 	}
 	fpf(w, "Figure 12 — Web-server latency under colocated GC\n%s\n", tb)
 }

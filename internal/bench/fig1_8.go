@@ -20,9 +20,14 @@ var fig8Sizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
 func Fig1(w io.Writer) {
 	cpu := perfmodel.DefaultCPU()
 	mem := perfmodel.System()
-	for _, op := range []string{"write", "read"} {
+	ops := []string{"write", "read"}
+	measuredAt := make([]sim.Duration, len(ops)*len(fig8Sizes))
+	runJobs(len(measuredAt), func(i int) {
+		measuredAt[i] = measureNOVAOp(ops[i/len(fig8Sizes)], fig8Sizes[i%len(fig8Sizes)])
+	})
+	for oi, op := range ops {
 		tb := stats.NewTable("io-size", "syscall&vfs(us)", "indexing(us)", "metadata(us)", "memcpy(us)", "total(us)", "memcpy-share")
-		for _, size := range fig8Sizes {
+		for si, size := range fig8Sizes {
 			pages := perfmodel.Pages(size)
 			syscall := cpu.Syscall
 			indexing := cpu.IndexBase + sim.Duration(pages)*cpu.IndexPerPage
@@ -35,7 +40,7 @@ func Fig1(w io.Writer) {
 				memcpyT = sim.Duration(float64(size) / mem.CPUReadRate * 1e9)
 			}
 			total := syscall + indexing + meta + memcpyT
-			measured := measureNOVAOp(op, size)
+			measured := measuredAt[oi*len(fig8Sizes)+si]
 			// The analytic decomposition must match the simulation.
 			if diff := measured - total; diff < -sim.Microsecond || diff > sim.Microsecond {
 				fpf(w, "WARNING: %s %d: measured %v vs decomposed %v\n", op, size, measured, total)
@@ -56,16 +61,16 @@ func measureNOVAOp(op string, size int) sim.Duration {
 	defer inst.Close()
 	var dur sim.Duration
 	inst.RT.Spawn(0, "probe", func(task *caladan.Task) {
-		f, _ := inst.FS.Create(task, "/probe")
+		f := mustIO(inst.FS.Create(task, "/probe"))
 		buf := make([]byte, size)
-		inst.FS.WriteAt(task, f, 0, buf) // ensure blocks exist for reads
+		mustIO(inst.FS.WriteAt(task, f, 0, buf)) // ensure blocks exist for reads
 		start := task.Now()
 		const reps = 8
 		for i := 0; i < reps; i++ {
 			if op == "write" {
-				inst.FS.WriteAt(task, f, 0, buf)
+				mustIO(inst.FS.WriteAt(task, f, 0, buf))
 			} else {
-				inst.FS.ReadAt(task, f, 0, buf)
+				mustIO(inst.FS.ReadAt(task, f, 0, buf))
 			}
 		}
 		dur = sim.Duration(task.Now()-start) / reps
@@ -79,16 +84,26 @@ func measureNOVAOp(op string, size int) sim.Duration {
 // per op, the rest being harvestable). EasyIO busy-polls its completion
 // (one uthread per core), as in the paper.
 func Fig8(w io.Writer) {
-	for _, op := range []string{"write", "read"} {
+	ops := []string{"write", "read"}
+	systems := AllSystems()
+	type cell struct{ lat, cpu sim.Duration }
+	cells := make([]cell, len(ops)*len(fig8Sizes)*len(systems))
+	runJobs(len(cells), func(i int) {
+		op := ops[i/(len(fig8Sizes)*len(systems))]
+		size := fig8Sizes[(i/len(systems))%len(fig8Sizes)]
+		lat, cpuT := measureOpLatency(systems[i%len(systems)], op, size)
+		cells[i] = cell{lat, cpuT}
+	})
+	for oi, op := range ops {
 		tb := stats.NewTable("io-size", "NOVA(us)", "NOVA-DMA(us)", "Odinfs(us)", "EasyIO(us)", "EasyIO-CPU(us)")
-		for _, size := range fig8Sizes {
+		for si, size := range fig8Sizes {
 			row := []any{sizeLabel(size)}
 			var easyCPU float64
-			for _, sys := range AllSystems() {
-				lat, cpuT := measureOpLatency(sys, op, size)
-				row = append(row, lat.Micros())
+			for yi, sys := range systems {
+				c := cells[(oi*len(fig8Sizes)+si)*len(systems)+yi]
+				row = append(row, c.lat.Micros())
 				if sys == SysEasyIO {
-					easyCPU = cpuT.Micros()
+					easyCPU = c.cpu.Micros()
 				}
 			}
 			row = append(row, easyCPU)
@@ -108,9 +123,9 @@ func measureOpLatency(sys System, op string, size int) (lat, cpuTime sim.Duratio
 	defer inst.Close()
 	var dur sim.Duration
 	inst.RT.Spawn(0, "probe", func(task *caladan.Task) {
-		f, _ := inst.FS.Create(task, "/probe")
+		f := mustIO(inst.FS.Create(task, "/probe"))
 		buf := make([]byte, size)
-		inst.FS.WriteAt(task, f, 0, buf)
+		mustIO(inst.FS.WriteAt(task, f, 0, buf))
 		if inst.CoreFS != nil {
 			inst.CoreFS.CPUTimeWrite, inst.CoreFS.CPUTimeRead = 0, 0
 		}
@@ -118,9 +133,9 @@ func measureOpLatency(sys System, op string, size int) (lat, cpuTime sim.Duratio
 		const reps = 8
 		for i := 0; i < reps; i++ {
 			if op == "write" {
-				inst.FS.WriteAt(task, f, 0, buf)
+				mustIO(inst.FS.WriteAt(task, f, 0, buf))
 			} else {
-				inst.FS.ReadAt(task, f, 0, buf)
+				mustIO(inst.FS.ReadAt(task, f, 0, buf))
 			}
 		}
 		dur = sim.Duration(task.Now()-start) / reps

@@ -74,28 +74,36 @@ func Fig2(w io.Writer, measure sim.Duration) {
 		{"DMA-16K-NB", 16384, 1}, {"DMA-16K-B", 16384, 4},
 		{"DMA-64K-NB", 65536, 1}, {"DMA-64K-B", 65536, 4},
 	}
-	for _, dir := range []string{"write", "read"} {
+	dirs := []string{"write", "read"}
+	gbps := make([]float64, len(dirs)*len(cfgs)*len(cores))
+	runJobs(len(gbps), func(i int) {
+		dir := dirs[i/(len(cfgs)*len(cores))]
+		c := cfgs[(i/len(cores))%len(cfgs)]
+		n := cores[i%len(cores)]
+		eng, dev := microDevice()
+		end := sim.Time(measure)
+		var bytes int64
+		var e *dma.Engine
+		if c.batch > 0 {
+			e = newMicroEngine(dev, 8)
+		}
+		for j := 0; j < n; j++ {
+			if c.batch == 0 {
+				rawCopyLoop(eng, end, cpuCopy(dev, dir == "write", c.size), &bytes)
+			} else {
+				rawCopyLoop(eng, end, dmaCopy(eng, e.Channel(0), dir == "write", c.size, c.batch), &bytes)
+			}
+		}
+		eng.RunUntil(end)
+		eng.Shutdown()
+		gbps[i] = stats.GBps(bytes, measure)
+	})
+	for di, dir := range dirs {
 		tb := stats.NewTable(append([]string{"config"}, coreHeaders(cores)...)...)
-		for _, c := range cfgs {
+		for ci, c := range cfgs {
 			row := []any{c.name}
-			for _, n := range cores {
-				eng, dev := microDevice()
-				end := sim.Time(measure)
-				var bytes int64
-				var e *dma.Engine
-				if c.batch > 0 {
-					e = newMicroEngine(dev, 8)
-				}
-				for i := 0; i < n; i++ {
-					if c.batch == 0 {
-						rawCopyLoop(eng, end, cpuCopy(dev, dir == "write", c.size), &bytes)
-					} else {
-						rawCopyLoop(eng, end, dmaCopy(eng, e.Channel(0), dir == "write", c.size, c.batch), &bytes)
-					}
-				}
-				eng.RunUntil(end)
-				eng.Shutdown()
-				row = append(row, stats.GBps(bytes, measure))
+			for ni := range cores {
+				row = append(row, gbps[(di*len(cfgs)+ci)*len(cores)+ni])
 			}
 			tb.AddRow(row...)
 		}
@@ -108,22 +116,30 @@ func Fig2(w io.Writer, measure sim.Duration) {
 func Fig3(w io.Writer, measure sim.Duration) {
 	chans := []int{1, 2, 4, 6, 8}
 	sizes := []int{4096, 16384, 65536}
-	for _, dir := range []string{"write", "read"} {
+	dirs := []string{"write", "read"}
+	gbps := make([]float64, len(dirs)*len(sizes)*len(chans))
+	runJobs(len(gbps), func(i int) {
+		dir := dirs[i/(len(sizes)*len(chans))]
+		size := sizes[(i/len(chans))%len(sizes)]
+		nc := chans[i%len(chans)]
+		eng, dev := microDevice()
+		e := newMicroEngine(dev, nc)
+		end := sim.Time(measure)
+		var bytes int64
+		for j := 0; j < 16; j++ {
+			ch := e.Channel(j % nc)
+			rawCopyLoop(eng, end, dmaCopy(eng, ch, dir == "write", size, 1), &bytes)
+		}
+		eng.RunUntil(end)
+		eng.Shutdown()
+		gbps[i] = stats.GBps(bytes, measure)
+	})
+	for di, dir := range dirs {
 		tb := stats.NewTable("io-size", "1ch", "2ch", "4ch", "6ch", "8ch")
-		for _, size := range sizes {
+		for si, size := range sizes {
 			row := []any{sizeLabel(size)}
-			for _, nc := range chans {
-				eng, dev := microDevice()
-				e := newMicroEngine(dev, nc)
-				end := sim.Time(measure)
-				var bytes int64
-				for i := 0; i < 16; i++ {
-					ch := e.Channel(i % nc)
-					rawCopyLoop(eng, end, dmaCopy(eng, ch, dir == "write", size, 1), &bytes)
-				}
-				eng.RunUntil(end)
-				eng.Shutdown()
-				row = append(row, stats.GBps(bytes, measure))
+			for ci := range chans {
+				row = append(row, gbps[(di*len(sizes)+si)*len(chans)+ci])
 			}
 			tb.AddRow(row...)
 		}
@@ -138,8 +154,12 @@ func Fig3(w io.Writer, measure sim.Duration) {
 func Fig4(w io.Writer, span sim.Duration) {
 	modes := []string{"BG-Memcpy", "BG-DMA-EX", "BG-DMA-SH"}
 	tb := stats.NewTable("mode", "baseline(us)", "mean(us)", "max(us)", "p99(us)")
-	series := map[string]*stats.Series{}
-	for _, mode := range modes {
+	type fig4Row struct {
+		baseline, mean, max, p99 float64
+	}
+	rows := make([]fig4Row, len(modes))
+	runJobs(len(modes), func(mi int) {
+		mode := modes[mi]
 		eng, dev := microDevice()
 		e := newMicroEngine(dev, 8)
 		fg := e.Channel(0)
@@ -153,7 +173,6 @@ func Fig4(w io.Writer, span sim.Duration) {
 		end := sim.Time(span)
 		var lat stats.Recorder
 		sr := &stats.Series{Name: mode}
-		series[mode] = sr
 		var baseline sim.Duration
 
 		// Foreground: 64 KB DMA reads in a closed loop, latency recorded.
@@ -161,7 +180,7 @@ func Fig4(w io.Writer, span sim.Duration) {
 			for p.Now() < end {
 				start := p.Now()
 				p.Sleep(400 * sim.Nanosecond) // submit
-				fg.Submit(&dma.Desc{Size: 64 << 10, OnComplete: func(uint64) { p.Resume() }})
+				mustIO(fg.Submit(&dma.Desc{Size: 64 << 10, OnComplete: func(uint64) { p.Resume() }}))
 				p.Pause()
 				d := sim.Duration(p.Now() - start)
 				lat.Add(d)
@@ -184,8 +203,8 @@ func Fig4(w io.Writer, span sim.Duration) {
 						OnDone: func() { p.Resume() }})
 					p.Pause()
 				} else {
-					bgChan.Submit(&dma.Desc{Size: 2 << 20, PMOff: 1 << 30,
-						OnComplete: func(uint64) { p.Resume() }})
+					mustIO(bgChan.Submit(&dma.Desc{Size: 2 << 20, PMOff: 1 << 30,
+						OnComplete: func(uint64) { p.Resume() }}))
 					p.Pause()
 				}
 				p.Sleep(300 * sim.Microsecond)
@@ -193,7 +212,11 @@ func Fig4(w io.Writer, span sim.Duration) {
 		})
 		eng.RunUntil(end)
 		eng.Shutdown()
-		tb.AddRow(mode, baseline.Micros(), lat.Mean().Micros(), lat.Max().Micros(), lat.P99().Micros())
+		rows[mi] = fig4Row{baseline.Micros(), lat.Mean().Micros(), lat.Max().Micros(), lat.P99().Micros()}
+	})
+	for mi, mode := range modes {
+		r := rows[mi]
+		tb.AddRow(mode, r.baseline, r.mean, r.max, r.p99)
 	}
 	fpf(w, "Figure 4 — FG 64KB DMA-read latency under periodic BG 2MB movement\n%s\n", tb)
 }

@@ -30,7 +30,9 @@ type Fig9Panel struct {
 // fig9Cores is the core sweep (§6.2 uses up to 18 worker threads).
 var fig9Cores = []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 24, 30, 36}
 
-// RunFig9Panel sweeps one panel.
+// RunFig9Panel sweeps one panel. The (system, cores) sweep points are
+// independent simulations, so they fan out across bench.Workers; the
+// curves are assembled from the slot array afterwards, in sweep order.
 func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uint64) *Fig9Panel {
 	p := &Fig9Panel{
 		Workload:    wl,
@@ -39,34 +41,49 @@ func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uin
 		Peak:        map[System]Fig9Point{},
 		CoresAtPeak: map[System]int{},
 	}
+	type job struct {
+		sys   System
+		cores int
+	}
+	var jobs []job
 	for _, sys := range AllSystems() {
 		for _, cores := range fig9Cores {
 			if cores > MaxWorkerCores(sys) {
 				continue
 			}
-			inst, err := NewInstance(sys, cores, InstanceOptions{Seed: seed})
-			if err != nil {
-				panic(err)
-			}
-			res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
-				Workload: wl,
-				Cores:    cores,
-				Uthreads: inst.Uthreads(),
-				IOSize:   ioSize,
-				Measure:  measure,
-				Seed:     seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			inst.Close()
-			p.Curves[sys] = append(p.Curves[sys], Fig9Point{
-				Cores: cores,
-				Thr:   res.Throughput(),
-				Avg:   res.Lat.Mean(),
-				P99:   res.Lat.P99(),
-			})
+			jobs = append(jobs, job{sys, cores})
 		}
+	}
+	points := make([]Fig9Point, len(jobs))
+	runJobs(len(jobs), func(i int) {
+		j := jobs[i]
+		inst, err := NewInstance(j.sys, j.cores, InstanceOptions{Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
+			Workload: wl,
+			Cores:    j.cores,
+			Uthreads: inst.Uthreads(),
+			IOSize:   ioSize,
+			Measure:  measure,
+			Seed:     seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		inst.Close()
+		points[i] = Fig9Point{
+			Cores: j.cores,
+			Thr:   res.Throughput(),
+			Avg:   res.Lat.Mean(),
+			P99:   res.Lat.P99(),
+		}
+	})
+	for i, j := range jobs {
+		p.Curves[j.sys] = append(p.Curves[j.sys], points[i])
+	}
+	for _, sys := range AllSystems() {
 		// Peak and minimum cores achieving >= 97% of it.
 		var peak Fig9Point
 		for _, pt := range p.Curves[sys] {
@@ -99,10 +116,12 @@ func Fig9(w io.Writer, measure sim.Duration, seed uint64) []*Fig9Panel {
 		{fxmark.DWAL, 64 << 10, "Write Thru. (64KB)"},
 		{fxmark.DRBL, 64 << 10, "Read Thru. (64KB)"},
 	}
-	var panels []*Fig9Panel
-	for _, cfg := range cfgs {
-		p := RunFig9Panel(cfg.wl, cfg.ioSize, measure, seed)
-		panels = append(panels, p)
+	panels := make([]*Fig9Panel, len(cfgs))
+	runJobs(len(cfgs), func(i int) {
+		panels[i] = RunFig9Panel(cfgs[i].wl, cfgs[i].ioSize, measure, seed)
+	})
+	for i, cfg := range cfgs {
+		p := panels[i]
 		fpf(w, "Figure 9 — %s: throughput vs latency by core count\n", cfg.label)
 		for _, sys := range AllSystems() {
 			tb := stats.NewTable("cores", "ops/s", "avg(us)", "p99(us)")

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds how many simulation jobs the drivers run concurrently.
+// Each job is an independent virtual machine (its own engine, device and
+// filesystem), so host-side parallelism cannot perturb virtual time: the
+// drivers compute every sweep point into an index-addressed slot and only
+// then print, which makes the output byte-identical for any Workers
+// value. Set it (e.g. from easyio-bench's -parallel flag) before invoking
+// a driver.
+var Workers = runtime.GOMAXPROCS(0)
+
+// activeHelpers counts the *extra* goroutines across all concurrent
+// runJobs calls (nested calls share the budget of Workers-1). Slots are
+// try-acquired: a job that cannot get one simply runs on the goroutine
+// that requested it, so nesting can never deadlock.
+var activeHelpers atomic.Int64
+
+func acquireHelper() bool {
+	limit := int64(Workers - 1)
+	for {
+		cur := activeHelpers.Load()
+		if cur >= limit {
+			return false
+		}
+		if activeHelpers.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseHelper() { activeHelpers.Add(-1) }
+
+// jobPanic records a panic from job i so it can be re-raised
+// deterministically.
+type jobPanic struct {
+	idx int
+	val any
+}
+
+// runJobs executes fn(0..n-1), fanning out across up to Workers
+// goroutines, and returns once every job has finished. fn must write its
+// result into a caller-owned slot for index i and must not touch shared
+// state. If any jobs panic, the panic of the lowest index is re-raised
+// after all jobs drain (so failure behaviour does not depend on worker
+// count or scheduling).
+func runJobs(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var panics []jobPanic
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						panics = append(panics, jobPanic{i, r})
+						mu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	var wg sync.WaitGroup
+	for extra := 0; extra < n-1 && acquireHelper(); extra++ {
+		wg.Add(1)
+		// The workers run whole simulations to completion and join before
+		// runJobs returns; no virtual clock spans the fan-out.
+		go func() { //easyio:allow nakedgo (host-side job pool; each job owns a private engine)
+			defer wg.Done()
+			defer releaseHelper()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.idx < first.idx {
+				first = p
+			}
+		}
+		panic(first.val)
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// KernelPerf reports the host-side cost of the simulation kernel: how
+// fast the engine dispatches events and how much it allocates doing so.
+// These are wall-clock metrics about the simulator itself (not virtual
+// time), recorded so perf regressions in the kernel show up in review as
+// BENCH_sim.json churn.
+type KernelPerf struct {
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	NsPerSwitch     float64 `json:"ns_per_proc_switch"`
+	AllocsPerSwitch float64 `json:"allocs_per_proc_switch"`
+}
+
+// ExperimentTiming is the wall-clock cost of one easyio-bench experiment.
+type ExperimentTiming struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Report is the machine-readable benchmark summary easyio-bench emits
+// with -benchjson.
+type Report struct {
+	Kernel      KernelPerf         `json:"kernel"`
+	Workers     int                `json:"workers"`
+	Experiments []ExperimentTiming `json:"experiments,omitempty"`
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// mallocs reads the cumulative allocation counter.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// MeasureKernelPerf times the two hot paths of the event kernel: raw
+// event dispatch (a self-rescheduling timer chain) and the full
+// schedule→sleep→resume coroutine round-trip.
+func MeasureKernelPerf() KernelPerf {
+	var kp KernelPerf
+
+	// Raw event dispatch.
+	const events = 1 << 20
+	e := sim.NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < events {
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	a0 := mallocs()
+	t0 := time.Now() //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+	e.Run()
+	el := time.Since(t0) //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+	a1 := mallocs()
+	kp.NsPerEvent = float64(el.Nanoseconds()) / events
+	kp.EventsPerSec = float64(events) / el.Seconds()
+	kp.AllocsPerEvent = float64(a1-a0) / events
+
+	// Coroutine round-trips. A warmup lap primes the event pool so the
+	// steady-state path is what gets measured.
+	const switches = 1 << 18
+	e2 := sim.NewEngine()
+	e2.StartProc("warm", func(p *sim.Proc) { p.Sleep(1) })
+	e2.Run()
+	var sel time.Duration
+	var sa0, sa1 uint64
+	e2.StartProc("probe", func(p *sim.Proc) {
+		sa0 = mallocs()
+		st := time.Now() //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+		for i := 0; i < switches; i++ {
+			p.Sleep(1)
+		}
+		sel = time.Since(st) //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+		sa1 = mallocs()
+	})
+	e2.Run()
+	e2.Shutdown()
+	kp.NsPerSwitch = float64(sel.Nanoseconds()) / switches
+	kp.AllocsPerSwitch = float64(sa1-sa0) / switches
+	return kp
+}

@@ -39,8 +39,17 @@ func wrLabel(n int) string {
 func Table2(w io.Writer, points int) bool {
 	tb := stats.NewTable("Workload", "Description", "Total Crash Points", "Total Passed")
 	allPass := true
-	for _, wl := range crashmonkey.All() {
-		rep, err := crashmonkey.Test(wl, crashmonkey.Config{TargetPoints: points, Seed: 42})
+	wls := crashmonkey.All()
+	type t2 struct {
+		rep *crashmonkey.Report
+		err error
+	}
+	res := make([]t2, len(wls))
+	runJobs(len(wls), func(i int) {
+		res[i].rep, res[i].err = crashmonkey.Test(wls[i], crashmonkey.Config{TargetPoints: points, Seed: 42})
+	})
+	for i, wl := range wls {
+		rep, err := res[i].rep, res[i].err
 		if err != nil {
 			fpf(w, "%s: ERROR %v\n", wl.Name, err)
 			allPass = false

@@ -81,7 +81,10 @@ func capture(fs *core.FS) state {
 				continue
 			}
 			buf := make([]byte, st.Size)
-			fs.FS.ReadAt(nil, f, 0, buf)
+			if _, err := fs.FS.ReadAt(nil, f, 0, buf); err != nil {
+				lines = append(lines, fmt.Sprintf("ERR %s read %v", p, err))
+				continue
+			}
 			lines = append(lines, fmt.Sprintf("F %s nlink=%d size=%d %x", p, st.Nlink, st.Size, buf))
 		}
 	}

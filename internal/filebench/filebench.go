@@ -83,6 +83,15 @@ type Result struct {
 func (r *Result) Throughput() float64 { return stats.Throughput(int(r.Ops), r.Span) }
 
 // Run executes the personality; same contract as fxmark.Run.
+// mustOp panics on a workload I/O error: the personality loops operate
+// on files the generator itself created, so failures mean corrupted
+// simulation state, not a recoverable condition.
+func mustOp(op string, err error) {
+	if err != nil {
+		panic("filebench: " + op + ": " + err.Error())
+	}
+}
+
 func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Span: cfg.Measure}
@@ -136,20 +145,26 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 					if err != nil {
 						continue
 					}
-					fs.WriteAt(task, nf, 0, wbuf)
-					fs.Append(task, nf, abuf)
-					fs.ReadAt(task, nf, 0, rbuf)
-					fs.Stat(task, name)
-					fs.Unlink(task, name)
+					_, err = fs.WriteAt(task, nf, 0, wbuf)
+					mustOp("write", err)
+					_, err = fs.Append(task, nf, abuf)
+					mustOp("append", err)
+					_, err = fs.ReadAt(task, nf, 0, rbuf)
+					mustOp("read", err)
+					_, err = fs.Stat(task, name)
+					mustOp("stat", err)
+					mustOp("unlink", fs.Unlink(task, name))
 				case Webserver:
 					// 10 reads : 1 log append (Table 1 R/W ratio).
 					for k := 0; k < 10; k++ {
 						f := files[wg.Intn(len(files))]
-						fs.ReadAt(task, f, 0, rbuf)
+						_, err := fs.ReadAt(task, f, 0, rbuf)
+						mustOp("read", err)
 					}
-					fs.Append(task, logFile, abuf)
+					_, err := fs.Append(task, logFile, abuf)
+					mustOp("append", err)
 					if logFile.Size() > 64<<20 {
-						fs.Truncate(task, logFile, 0)
+						mustOp("truncate", fs.Truncate(task, logFile, 0))
 					}
 				}
 				if task.Now() > warmEnd && opStart >= warmEnd {

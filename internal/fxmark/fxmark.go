@@ -94,6 +94,16 @@ func (r *Result) Bandwidth() float64 { return stats.GBps(r.Bytes, r.Span) }
 // blocks (in wall time) until the virtual run completes. The caller owns
 // the engine and must have created rt; Run spawns the workers, drives the
 // engine to the end of the measure window, and returns the result.
+// mustOp panics on a workload I/O error. The generator operates on files
+// it pre-created, so every op is infallible by construction; if one ever
+// fails, the counters and latencies from that point on would be fiction,
+// and dying loudly beats reporting them.
+func mustOp(op string, err error) {
+	if err != nil {
+		panic("fxmark: " + op + ": " + err.Error())
+	}
+}
+
 func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Span: cfg.Measure}
@@ -147,19 +157,22 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 				opStart := task.Now()
 				switch cfg.Workload {
 				case DWAL:
-					fs.Append(task, f, myBuf)
+					_, err := fs.Append(task, f, myBuf)
+					mustOp("append", err)
 					appendPos += int64(cfg.IOSize)
 					if appendPos > cfg.AppendCap {
-						fs.Truncate(task, f, 0)
+						mustOp("truncate", fs.Truncate(task, f, 0))
 						appendPos = 0
 						continue // maintenance op: not timed
 					}
 				case DRBL, DRBM:
 					off := alignedOff(wg, cfg.FileSize, cfg.IOSize)
-					fs.ReadAt(task, f, off, myBuf)
+					_, err := fs.ReadAt(task, f, off, myBuf)
+					mustOp("read", err)
 				case DWOM:
 					off := alignedOff(wg, cfg.FileSize, cfg.IOSize)
-					fs.WriteAt(task, f, off, myBuf)
+					_, err := fs.WriteAt(task, f, off, myBuf)
+					mustOp("write", err)
 				default:
 					panic("fxmark: unknown workload " + string(cfg.Workload))
 				}

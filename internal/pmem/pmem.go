@@ -64,6 +64,7 @@ type Flow struct {
 	spec      FlowSpec
 	remaining float64
 	rate      float64 // bytes/sec allocated by the last recompute
+	limit     float64 // per-recompute scratch: demand after stage-1 caps
 	done      bool
 }
 
@@ -109,8 +110,20 @@ type Device struct {
 	pages map[int64]*[pageSize]byte
 
 	flows   []*Flow
-	pending *sim.Timer
+	pending sim.Timer
 	lastAdv sim.Time
+
+	// Incrementally maintained arbitration state: population counters and
+	// the ordered DMA (engine group, direction) set, updated on flow
+	// attach/detach so recompute never rebuilds or sorts them.
+	cpuR, cpuW int
+	groups     []*dmaGroup
+
+	// Scratch buffers reused across recompute calls (no per-event
+	// allocation on the arbitration path).
+	scrLim, scrW, scrAl []float64
+	scrSat              []bool
+	scrFlows            []*Flow
 
 	// Persistence tracking (crash simulation).
 	tracking bool
@@ -248,6 +261,7 @@ func (d *Device) StartFlow(spec FlowSpec) *Flow {
 	}
 	d.advance()
 	d.flows = append(d.flows, f)
+	d.attach(f)
 	d.recompute()
 	return f
 }
@@ -255,10 +269,87 @@ func (d *Device) StartFlow(spec FlowSpec) *Flow {
 // ActiveFlows reports the number of in-flight flows.
 func (d *Device) ActiveFlows() int { return len(d.flows) }
 
+// dmaKey identifies one (engine group, direction) arbitration domain.
+type dmaKey struct {
+	group int
+	write bool
+}
+
+func (k dmaKey) less(o dmaKey) bool {
+	if k.group != o.group {
+		return k.group < o.group
+	}
+	return !k.write && o.write
+}
+
+// dmaGroup holds the active DMA flows of one (group, direction) domain in
+// flow-start order — the same relative order they occupy in d.flows, so
+// the max-min gather below visits them exactly as the full scan used to.
+type dmaGroup struct {
+	key   dmaKey
+	flows []*Flow
+}
+
+// groupIndex binary-searches the ordered group set for key; found reports
+// whether the group at the returned insertion point matches.
+func (d *Device) groupIndex(key dmaKey) (int, bool) {
+	i := sort.Search(len(d.groups), func(i int) bool { return !d.groups[i].key.less(key) })
+	return i, i < len(d.groups) && d.groups[i].key == key
+}
+
+// attach registers f with the incremental arbitration state (O(log k) in
+// the number of active domains).
+func (d *Device) attach(f *Flow) {
+	if f.spec.Kind == FlowCPU {
+		if f.spec.Write {
+			d.cpuW++
+		} else {
+			d.cpuR++
+		}
+		return
+	}
+	key := dmaKey{f.spec.Group, f.spec.Write}
+	i, ok := d.groupIndex(key)
+	if !ok {
+		d.groups = append(d.groups, nil)
+		copy(d.groups[i+1:], d.groups[i:])
+		d.groups[i] = &dmaGroup{key: key}
+	}
+	d.groups[i].flows = append(d.groups[i].flows, f)
+}
+
+// detach unregisters f, keeping the remaining flows' relative order.
+func (d *Device) detach(f *Flow) {
+	if f.spec.Kind == FlowCPU {
+		if f.spec.Write {
+			d.cpuW--
+		} else {
+			d.cpuR--
+		}
+		return
+	}
+	key := dmaKey{f.spec.Group, f.spec.Write}
+	i, ok := d.groupIndex(key)
+	if !ok {
+		panic("pmem: detach of flow with no arbitration group")
+	}
+	g := d.groups[i]
+	for j, h := range g.flows {
+		if h == f {
+			g.flows = append(g.flows[:j], g.flows[j+1:]...)
+			break
+		}
+	}
+	if len(g.flows) == 0 {
+		d.groups = append(d.groups[:i], d.groups[i+1:]...)
+	}
+}
+
 func (d *Device) removeFlow(f *Flow) {
 	for i, g := range d.flows {
 		if g == f {
 			d.flows = append(d.flows[:i], d.flows[i+1:]...)
+			d.detach(f)
 			return
 		}
 	}
@@ -315,10 +406,11 @@ func (d *Device) intrinsic(f *Flow, cpuR, cpuW int) float64 {
 }
 
 // maxmin computes a weighted max-min fair allocation of cap across items
-// whose demands are given by limit. Result is written into alloc.
-func maxmin(limit, weight, alloc []float64, cap float64) {
+// whose demands are given by limit. Result is written into alloc. sat is
+// caller-provided scratch (all false on entry) so the arbitration path
+// allocates nothing.
+func maxmin(limit, weight, alloc []float64, sat []bool, cap float64) {
 	n := len(limit)
-	sat := make([]bool, n)
 	remaining := cap
 	for {
 		var wsum float64
@@ -354,26 +446,28 @@ func maxmin(limit, weight, alloc []float64, cap float64) {
 	}
 }
 
-// recompute reallocates bandwidth and schedules the next completion event.
-// Must be called with progress already advanced to now.
-func (d *Device) recompute() {
-	if d.pending != nil {
-		d.pending.Stop()
-		d.pending = nil
+// gather stages the given flows' (limit, weight) pairs into the scratch
+// buffers and zeroes the allocation/saturation scratch.
+func (d *Device) gather(flows []*Flow) {
+	d.scrFlows = d.scrFlows[:0]
+	d.scrLim = d.scrLim[:0]
+	d.scrW = d.scrW[:0]
+	d.scrAl = d.scrAl[:0]
+	d.scrSat = d.scrSat[:0]
+	for _, f := range flows {
+		d.scrFlows = append(d.scrFlows, f)
+		d.scrLim = append(d.scrLim, f.limit)
+		d.scrW = append(d.scrW, f.spec.Weight)
+		d.scrAl = append(d.scrAl, 0)
+		d.scrSat = append(d.scrSat, false)
 	}
-	if len(d.flows) == 0 {
-		return
-	}
+}
 
-	// Population counts. DMA groups are keyed by (engine group, direction)
-	// and later iterated in sorted order so the allocation loop visits
-	// them deterministically (map range order would not be).
-	type dmaKey struct {
-		group int
-		write bool
-	}
+// checkArbCounters recounts the incremental arbitration state from
+// scratch and panics on divergence (easyio_invariants builds only).
+func (d *Device) checkArbCounters() {
 	var cpuR, cpuW int
-	dmaActive := map[dmaKey]int{}
+	perKey := map[dmaKey]int{}
 	for _, f := range d.flows {
 		if f.spec.Kind == FlowCPU {
 			if f.spec.Write {
@@ -382,19 +476,39 @@ func (d *Device) recompute() {
 				cpuR++
 			}
 		} else {
-			dmaActive[dmaKey{f.spec.Group, f.spec.Write}]++
+			perKey[dmaKey{f.spec.Group, f.spec.Write}]++
 		}
 	}
-	dmaKeys := make([]dmaKey, 0, len(dmaActive))
-	for k := range dmaActive {
-		dmaKeys = append(dmaKeys, k)
+	if cpuR != d.cpuR || cpuW != d.cpuW {
+		panic(fmt.Sprintf("pmem: incremental CPU counts (%d,%d) but flows hold (%d,%d)", d.cpuR, d.cpuW, cpuR, cpuW))
 	}
-	sort.Slice(dmaKeys, func(i, j int) bool {
-		if dmaKeys[i].group != dmaKeys[j].group {
-			return dmaKeys[i].group < dmaKeys[j].group
+	if len(perKey) != len(d.groups) {
+		panic(fmt.Sprintf("pmem: %d incremental DMA groups but flows span %d", len(d.groups), len(perKey)))
+	}
+	for i, g := range d.groups {
+		if perKey[g.key] != len(g.flows) {
+			panic(fmt.Sprintf("pmem: group %+v holds %d flows, recount says %d", g.key, len(g.flows), perKey[g.key]))
 		}
-		return !dmaKeys[i].write && dmaKeys[j].write
-	})
+		if i > 0 && !d.groups[i-1].key.less(g.key) {
+			panic(fmt.Sprintf("pmem: group set unordered at %d: %+v !< %+v", i, d.groups[i-1].key, g.key))
+		}
+	}
+}
+
+// recompute reallocates bandwidth and schedules the next completion event.
+// Must be called with progress already advanced to now. Population counts
+// and the ordered DMA group set are maintained incrementally by
+// attach/detach, so each call is one allocation-free pass over the flows
+// — no map rebuild, no sort.
+func (d *Device) recompute() {
+	d.pending.Stop()
+	d.pending = sim.Timer{}
+	if len(d.flows) == 0 {
+		return
+	}
+	if invariants.Enabled {
+		d.checkArbCounters()
+	}
 
 	// Allocation runs per direction, writes first: Optane reads degrade
 	// sharply under concurrent write pressure (media contention), which
@@ -402,7 +516,7 @@ func (d *Device) recompute() {
 	// GC (§6.4.3). readScale shrinks every read rate (flow intrinsics,
 	// engine caps and the DIMM cap alike) by the write utilization.
 	var writeRate float64
-	for _, write := range []bool{true, false} {
+	for _, write := range [2]bool{true, false} {
 		readScale := 1.0
 		if !write {
 			util := writeRate / d.model.WriteCap
@@ -416,54 +530,49 @@ func (d *Device) recompute() {
 		}
 
 		// Stage 1: flow intrinsics, tightened by per-engine DMA caps.
-		limit := make([]float64, len(d.flows))
-		for i, f := range d.flows {
+		// Group membership is insertion-ordered, matching the relative
+		// order the flows occupy in d.flows, so the max-min arithmetic
+		// visits them exactly as the full rebuild used to.
+		for _, f := range d.flows {
 			if f.spec.Write != write {
 				continue
 			}
-			limit[i] = d.intrinsic(f, cpuR, cpuW) * readScale
+			f.limit = d.intrinsic(f, d.cpuR, d.cpuW) * readScale
 		}
-		for _, key := range dmaKeys {
-			group, wdir, nact := key.group, key.write, dmaActive[key]
-			if wdir != write {
+		for _, g := range d.groups {
+			if g.key.write != write {
 				continue
 			}
-			cap := d.model.DMACap(write, nact) * readScale
-			var idx []int
-			var lims, ws, as []float64
-			for i, f := range d.flows {
-				if f.spec.Kind == FlowDMA && f.spec.Group == group && f.spec.Write == write {
-					idx = append(idx, i)
-					lims = append(lims, limit[i])
-					ws = append(ws, f.spec.Weight)
-					as = append(as, 0)
-				}
-			}
-			maxmin(lims, ws, as, cap)
-			for j, i := range idx {
-				limit[i] = as[j]
+			cap := d.model.DMACap(write, len(g.flows)) * readScale
+			d.gather(g.flows)
+			maxmin(d.scrLim, d.scrW, d.scrAl, d.scrSat, cap)
+			for j, f := range d.scrFlows {
+				f.limit = d.scrAl[j]
 			}
 		}
 
 		// Stage 2: the DIMM direction cap across all flows.
-		cap := d.model.DirCap(write, cpuW) * readScale
-		var idx []int
-		var lims, ws, as []float64
-		for i, f := range d.flows {
+		cap := d.model.DirCap(write, d.cpuW) * readScale
+		d.scrFlows = d.scrFlows[:0]
+		d.scrLim = d.scrLim[:0]
+		d.scrW = d.scrW[:0]
+		d.scrAl = d.scrAl[:0]
+		d.scrSat = d.scrSat[:0]
+		for _, f := range d.flows {
 			if f.spec.Write == write {
-				idx = append(idx, i)
-				lims = append(lims, limit[i])
-				ws = append(ws, f.spec.Weight)
-				as = append(as, 0)
+				d.scrFlows = append(d.scrFlows, f)
+				d.scrLim = append(d.scrLim, f.limit)
+				d.scrW = append(d.scrW, f.spec.Weight)
+				d.scrAl = append(d.scrAl, 0)
+				d.scrSat = append(d.scrSat, false)
 			}
 		}
-		if len(idx) == 0 {
+		if len(d.scrFlows) == 0 {
 			continue
 		}
-		maxmin(lims, ws, as, cap)
-		for j, i := range idx {
-			f := d.flows[i]
-			f.rate = as[j]
+		maxmin(d.scrLim, d.scrW, d.scrAl, d.scrSat, cap)
+		for j, f := range d.scrFlows {
+			f.rate = d.scrAl[j]
 			if f.rate < 1 {
 				f.rate = 1 // never stall completely
 			}
@@ -490,7 +599,7 @@ func (d *Device) recompute() {
 
 // completeDue fires flows whose bytes have fully streamed.
 func (d *Device) completeDue() {
-	d.pending = nil
+	d.pending = sim.Timer{}
 	d.advance()
 	var fired []*Flow
 	rest := d.flows[:0]
@@ -498,6 +607,7 @@ func (d *Device) completeDue() {
 		if f.remaining <= 0.5 {
 			f.done = true
 			fired = append(fired, f)
+			d.detach(f)
 		} else {
 			rest = append(rest, f)
 		}

@@ -227,7 +227,7 @@ func TestMaxminRespectsLimitsAndCap(t *testing.T) {
 	limit := []float64{1, 10, 10}
 	weight := []float64{1, 1, 2}
 	alloc := make([]float64, 3)
-	maxmin(limit, weight, alloc, 7)
+	maxmin(limit, weight, alloc, make([]bool, 3), 7)
 	// Item 0 satisfied at 1; remaining 6 split 1:2 -> 2 and 4.
 	want := []float64{1, 2, 4}
 	for i := range want {
@@ -240,7 +240,7 @@ func TestMaxminRespectsLimitsAndCap(t *testing.T) {
 func TestMaxminUnderloaded(t *testing.T) {
 	limit := []float64{1, 2}
 	alloc := make([]float64, 2)
-	maxmin(limit, []float64{1, 1}, alloc, 100)
+	maxmin(limit, []float64{1, 1}, alloc, make([]bool, 2), 100)
 	if alloc[0] != 1 || alloc[1] != 2 {
 		t.Fatalf("alloc = %v", alloc)
 	}

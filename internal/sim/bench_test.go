@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventsPerSec measures raw event dispatch: a single
+// self-rescheduling timer chain, one event per iteration.
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(1, fn)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, fn)
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkProcSwitch measures the schedule→sleep→resume path: one proc
+// sleeping in a tight loop, so every iteration is a full coroutine
+// round-trip through the event kernel.
+func BenchmarkProcSwitch(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	b.ResetTimer()
+	e.StartProc("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}
+
+// BenchmarkCondBroadcast measures waking 16 parked procs per iteration.
+func BenchmarkCondBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	const waiters = 16
+	e := NewEngine()
+	c := NewCond(e)
+	for i := 0; i < waiters; i++ {
+		e.StartProc("w", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				c.Wait(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.StartProc("caller", func(p *Proc) {
+		for j := 0; j < b.N; j++ {
+			// Let the waiters park, then wake them all at once.
+			for c.Waiters() < waiters {
+				p.Sleep(1)
+			}
+			c.Broadcast()
+		}
+	})
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}
+
+// BenchmarkTimerStop measures schedule+cancel pairs (the pmem arbitration
+// pattern: every recompute stops the previous completion timer).
+func BenchmarkTimerStop(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(Duration(i+1), func() {})
+		tm.Stop()
+	}
+	b.StopTimer()
+	e.Run()
+}

@@ -13,10 +13,15 @@
 // hands control back whenever it blocks on a simulation primitive (Sleep,
 // Park, or a higher-level primitive built on Pause). Exactly one Proc runs
 // at a time, preserving determinism.
+//
+// The kernel's hot path is allocation-free in steady state: fired events
+// are recycled through a free list (Timer handles stay safe across reuse
+// via a generation counter), Sleep/StartProc resume through a typed event
+// rather than a capturing closure, and Cond.Broadcast wakes all waiters
+// from one scheduled event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/easyio-sim/easyio/internal/invariants"
@@ -45,39 +50,98 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
 // Micros reports d as floating-point microseconds.
 func (d Duration) Micros() float64 { return float64(d) / 1e3 }
 
+// Event kinds. evFunc runs a callback closure; evResume resumes one proc;
+// evBroadcast resumes a batch of procs in FIFO order. The typed kinds keep
+// the Sleep/Broadcast paths closure-free.
+const (
+	evFunc uint8 = iota
+	evResume
+	evBroadcast
+)
+
 type event struct {
-	t    Time
-	seq  uint64
-	fn   func()
-	dead bool // set by Timer.Stop
+	t   Time
+	seq uint64
+	// gen invalidates stale Timer handles across free-list reuse: a
+	// Timer captures the generation at schedule time and Stop refuses to
+	// act once the event has been recycled.
+	gen   uint32
+	kind  uint8
+	dead  bool // set by Timer.Stop
+	fn    func()
+	proc  *Proc   // evResume target
+	procs []*Proc // evBroadcast batch
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, sequence).
+// Avoiding container/heap keeps interface dispatch off the hot path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
 	old := *h
 	n := len(old)
-	ev := old[n-1]
+	ev := old[0]
+	old[0] = old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	if n > 1 {
+		(*h).down(0)
+	}
 	return ev
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
+	now    Time
+	events eventHeap
+	seq    uint64
+	// live counts scheduled, not-yet-fired, not-cancelled events so
+	// Pending is O(1). Timer.Stop decrements it exactly once per event.
+	live    int
+	free    []*event
 	procs   map[*Proc]struct{}
 	stopped bool
 	// inEvent guards against Proc misuse (Resume outside event context).
@@ -95,35 +159,111 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) *Timer {
+// alloc takes an event from the free list (or the heap allocator), stamps
+// it with the next sequence number, and schedules it at absolute time t
+// (clamped to now).
+func (e *Engine) alloc(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
+	// Cancelled events stay in the heap until their deadline; when they
+	// outnumber live ones (the pmem stop/reschedule pattern), drop them
+	// in one pass. Pop order is fully determined by the (time, seq)
+	// total order, so rebuilding the heap is temporally invisible.
+	if dead := len(e.events) - e.live; dead > 64 && dead > e.live {
+		e.compact()
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
 	e.seq++
-	ev := &event{t: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev.t = t
+	ev.seq = e.seq
+	ev.dead = false
+	e.events.push(ev)
+	e.live++
+	return ev
+}
+
+// compact removes cancelled events from the heap and re-heapifies.
+func (e *Engine) compact() {
+	keep := e.events[:0]
+	for _, ev := range e.events {
+		if ev.dead {
+			e.release(ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = keep
+	for i := len(keep)/2 - 1; i >= 0; i-- {
+		keep.down(i)
+	}
+}
+
+// release recycles a popped event into the free list. The generation bump
+// invalidates every Timer handle still pointing at it.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.kind = evFunc
+	ev.fn = nil
+	ev.proc = nil
+	ev.procs = nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.alloc(t)
+	ev.kind = evFunc
+	ev.fn = fn
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now (clamped to zero).
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+Time(d), fn)
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// scheduleResume schedules a typed resume event for p, avoiding the
+// closure a callback event would capture.
+func (e *Engine) scheduleResume(p *Proc, d Duration) {
+	ev := e.alloc(e.now + Time(d))
+	ev.kind = evResume
+	ev.proc = p
+}
+
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// value is an already-expired timer. Timers are values; copying one copies
+// the handle, not the event.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the
-// cancellation prevented the event from running.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// cancellation prevented the event from running: false when the timer is
+// zero, already stopped, or its event already fired (the generation check
+// makes firing observable even after the event struct is recycled), so
+// the engine's live-event counter is decremented at most once.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
+	t.eng.live--
 	return true
 }
 
@@ -135,16 +275,33 @@ func (e *Engine) step(deadline Time, bounded bool) bool {
 		if bounded && ev.t > deadline {
 			return false
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
 		if invariants.Enabled && ev.t < e.now {
 			panic(fmt.Sprintf("sim: event heap yielded time %v before now %v", ev.t, e.now))
 		}
 		e.now = ev.t
+		e.live--
+		// Capture the payload and recycle the struct before dispatch:
+		// once the event has fired, stale Timer handles must see the
+		// new generation, and the pool slot can back events scheduled
+		// from inside the callback.
+		kind, fn, proc, procs := ev.kind, ev.fn, ev.proc, ev.procs
+		e.release(ev)
 		e.inEvent = true
-		ev.fn()
+		switch kind {
+		case evFunc:
+			fn()
+		case evResume:
+			proc.Resume()
+		case evBroadcast:
+			for _, p := range procs {
+				p.Resume()
+			}
+		}
 		e.inEvent = false
 		return !e.stopped
 	}
@@ -181,15 +338,21 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // must end with identical sequence counters.
 func (e *Engine) Sequence() uint64 { return e.seq }
 
-// Pending reports the number of scheduled (non-cancelled) events.
+// Pending reports the number of scheduled (non-cancelled) events in O(1),
+// from a live counter maintained by alloc, step and Timer.Stop.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
+	if invariants.Enabled {
+		n := 0
+		for _, ev := range e.events {
+			if !ev.dead {
+				n++
+			}
+		}
+		if n != e.live {
+			panic(fmt.Sprintf("sim: live-event counter %d but heap holds %d live events", e.live, n))
 		}
 	}
-	return n
+	return e.live
 }
 
 // Shutdown kills every live Proc so their goroutines exit. It must be
@@ -252,7 +415,7 @@ func (e *Engine) NewProc(name string, fn func(*Proc)) *Proc {
 // StartProc creates the proc and schedules its first resumption immediately.
 func (e *Engine) StartProc(name string, fn func(*Proc)) *Proc {
 	p := e.NewProc(name, fn)
-	e.After(0, func() { p.Resume() })
+	e.scheduleResume(p, 0)
 	return p
 }
 
@@ -340,12 +503,13 @@ func (p *Proc) Pause() {
 	}
 }
 
-// Sleep blocks the proc for d nanoseconds of virtual time.
+// Sleep blocks the proc for d nanoseconds of virtual time. The wakeup is
+// a typed resume event: no closure, no per-sleep allocation.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.After(d, func() { p.Resume() })
+	p.eng.scheduleResume(p, d)
 	p.Pause()
 }
 
@@ -384,15 +548,18 @@ func (c *Cond) Wait(p *Proc) {
 	p.Pause()
 }
 
-// Broadcast wakes all waiting procs (in FIFO order, each via its own
-// immediate event). Must be called from event context.
+// Broadcast wakes all waiting procs in FIFO order from one scheduled
+// batch event (rather than one immediate event per waiter). Must be
+// called from event context.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
-	for _, w := range ws {
-		w := w
-		c.eng.After(0, func() { w.Resume() })
+	if len(ws) == 0 {
+		return
 	}
+	ev := c.eng.alloc(c.eng.now)
+	ev.kind = evBroadcast
+	ev.procs = ws
 }
 
 // Waiters reports how many procs are parked on c.
