@@ -12,6 +12,10 @@ go vet ./...
 echo '== go run ./cmd/easyio-vet ./...'
 go run ./cmd/easyio-vet ./...
 
+echo '== analyzer registry completeness (>= 10 analyzers)'
+n=$(go run ./cmd/easyio-vet -list | wc -l)
+test "$n" -ge 10 || { echo "only $n analyzers registered"; exit 1; }
+
 echo '== go test ./...'
 go test ./...
 

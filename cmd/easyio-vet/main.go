@@ -6,6 +6,7 @@
 //	go run ./cmd/easyio-vet internal/core  # one package (suffix match)
 //	go run ./cmd/easyio-vet -list          # show the analyzers
 //	go run ./cmd/easyio-vet -only lockbalance ./...
+//	go run ./cmd/easyio-vet -json ./...    # findings as a JSON array
 //
 // Intentional violations are suppressed in source with a rationale:
 //
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +24,21 @@ import (
 	"github.com/easyio-sim/easyio/internal/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic, stable for
+// CI consumers (the GitHub problem matcher consumes the plain-text form;
+// -json serves dashboards and editor integrations).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col text")
 	flag.Parse()
 
 	if *list {
@@ -64,8 +78,26 @@ func main() {
 
 	pkgs = filterPackages(pkgs, flag.Args())
 	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 || typeErrs > 0 {
 		fmt.Fprintf(os.Stderr, "easyio-vet: %d finding(s), %d type error(s)\n", len(diags), typeErrs)

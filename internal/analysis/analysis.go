@@ -6,14 +6,22 @@
 //
 // The framework provides a module loader/type-checker (load.go), a
 // diagnostic reporter with positions, an //easyio:allow suppression
-// mechanism (suppress.go), and a registry of analyzers:
+// mechanism (suppress.go), a summary-based interprocedural layer
+// (callgraph.go, summary.go) that propagates per-function effect
+// summaries bottom-up over call-graph SCCs, and a registry of analyzers:
 //
 //	simtime       - no wall-clock time in simulation code (sim.Time only)
 //	detrand       - no math/rand or crypto/rand outside internal/rng
 //	nakedgo       - no go statements outside the sim.Proc machinery
 //	maporder      - no order-dependent side effects inside map iteration
 //	lockbalance   - no return/panic path that leaks an acquired lock
+//	              (interprocedural: ownership-transfer callees that
+//	              provably release are verified, not suppressed)
 //	errcheck-pmem - no discarded errors from the pmem/dma/filesystem layers
+//	cbgate        - no completion-SN read without a dominating gate pass
+//	chargebalance - syscall-visible ops charge each cost constant exactly once
+//	parkcontext   - Park/Gate.Wait only reachable from non-nil uthreads
+//	staleallow    - no //easyio:allow comment that suppresses nothing
 //
 // cmd/easyio-vet is the CLI driver; it exits nonzero on findings, so CI
 // gates every PR on these invariants.
@@ -51,7 +59,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Mod is the module-wide interprocedural view (call graph and effect
+	// summaries), shared by every pass of one RunAnalyzers invocation.
+	Mod   *ModuleInfo
+	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -65,7 +76,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer registry in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simtime, Detrand, NakedGo, MapOrder, LockBalance, ErrcheckPmem}
+	return []*Analyzer{
+		Simtime, Detrand, NakedGo, MapOrder, LockBalance, ErrcheckPmem,
+		CBGate, ChargeBalance, ParkContext, StaleAllow,
+	}
 }
 
 // ByName resolves registry names; unknown names are an error.
@@ -90,13 +104,24 @@ func ByName(names []string) ([]*Analyzer, error) {
 // RunAnalyzers applies each analyzer to each package and returns the
 // findings that survive //easyio:allow suppression, sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := BuildModule(pkgs)
 	var diags []Diagnostic
+	ranStale := false
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			if a == StaleAllow {
+				// Whole-run analyzer: judged after filtering, below.
+				ranStale = true
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
 		}
 	}
-	diags = filterSuppressed(pkgs, diags)
+	sup := buildSuppressions(pkgs)
+	diags = sup.filter(diags)
+	if ranStale {
+		diags = append(diags, sup.staleFindings(analyzers)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -288,11 +288,10 @@ func lockPair(a, b *inode) {
 	b.Mu.Lock()
 }
 `, 0},
-		{"ownership transfer suppressed", lockFixturePrelude + `
+		{"ownership transfer verified without an allow", lockFixturePrelude + `
 func release(ino *inode) int { ino.Mu.Unlock(); return 0 }
 func ok(ino *inode) int {
 	ino.Mu.Lock()
-	//easyio:allow lockbalance (ownership transfers to release)
 	return release(ino)
 }
 `, 0},

@@ -17,12 +17,13 @@ import (
 // so the ~10 manual unlock paths in internal/core/easyio.go and friends
 // are each checked individually.
 //
-// Two escapes exist for intentional imbalance:
-//
-//   - functions whose name contains "lock" (lockPair, ULock.Lock, ...)
-//     are lock-manipulation helpers and are skipped entirely;
-//   - ownership-transfer sites (return into a callee that releases the
-//     lock) carry an //easyio:allow lockbalance comment.
+// Ownership transfer is verified interprocedurally: a call into a
+// summarized callee that provably releases a param-rooted lock on every
+// normal path (`return fs.writeNaive(t, ino, ...)` unlocking ino.Mu)
+// discharges that lock from the caller's held set, so those sites need
+// no //easyio:allow escape. Functions whose name contains "lock"
+// (lockPair, ULock.Lock, ...) remain skipped entirely: imbalance is
+// their job.
 var LockBalance = &Analyzer{
 	Name: "lockbalance",
 	Doc:  "forbid return/panic paths that leak an acquired lock",
@@ -80,6 +81,27 @@ func (lb *lockBalancer) reportHeld(pos token.Pos, held lockSet, where string) {
 	}
 }
 
+// applyCallee discharges locks that a statically-resolved callee provably
+// releases on every normal path (ownership transfer). The callee's summary
+// reports releases rooted at its parameters; ReleasedLocks substitutes the
+// caller's argument expressions so the keys match this walker's lockSet.
+func (lb *lockBalancer) applyCallee(call *ast.CallExpr, held lockSet) {
+	if lb.pass.Mod == nil || len(held) == 0 {
+		return
+	}
+	callee := staticCallee(lb.pass.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	sum := lb.pass.Mod.SummaryFor(callee)
+	if sum == nil {
+		return
+	}
+	for _, recv := range ReleasedLocks(sum, call) {
+		delete(held, recv)
+	}
+}
+
 // stmts walks a statement list with the entry lock set, reporting exits
 // that leak locks. It returns the set held after normal completion and
 // whether every path through the list terminates (return/panic).
@@ -111,13 +133,30 @@ func (lb *lockBalancer) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
 				lb.reportHeld(s.Pos(), held, "panic")
 				return held, true
 			}
+			lb.applyCallee(call, held)
 		}
 	case *ast.DeferStmt:
-		// A deferred unlock releases on every exit from here on.
+		// A deferred unlock (direct, or inside a summarized callee)
+		// releases on every exit from here on.
 		if recv, kind := lockCall(s.Call); kind == "unlock" {
 			delete(held, recv)
+		} else {
+			lb.applyCallee(s.Call, held)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				lb.applyCallee(call, held)
+			}
 		}
 	case *ast.ReturnStmt:
+		// Ownership transfer: `return callee(...)` where the callee
+		// releases discharges the lock before the exit is judged.
+		for _, res := range s.Results {
+			if call, ok := res.(*ast.CallExpr); ok {
+				lb.applyCallee(call, held)
+			}
+		}
 		lb.reportHeld(s.Pos(), held, "return")
 		return held, true
 	case *ast.BlockStmt:

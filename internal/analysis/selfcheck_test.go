@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -31,5 +33,30 @@ func TestSelfCheck(t *testing.T) {
 	}
 	for _, d := range RunAnalyzers(pkgs, All()) {
 		t.Errorf("finding: %s", d)
+	}
+}
+
+// TestFixtureCoverage demands that every registered analyzer is exercised
+// by at least one fixture test: its name must appear as a quoted string
+// in some *_test.go file of this package. CI asserts the registry size
+// separately; this keeps the registry and the fixture suite in lockstep.
+func TestFixtureCoverage(t *testing.T) {
+	files, err := filepath.Glob("*_test.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob *_test.go: %v (%d files)", err, len(files))
+	}
+	var corpus strings.Builder
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus.Write(b)
+	}
+	src := corpus.String()
+	for _, a := range All() {
+		if !strings.Contains(src, `"`+a.Name+`"`) {
+			t.Errorf("analyzer %q has no fixture test (no quoted reference in any *_test.go)", a.Name)
+		}
 	}
 }

@@ -1,0 +1,20 @@
+package analysis
+
+// StaleAllow is the suppression burn-down analyzer: it rejects
+// //easyio:allow comments that no longer suppress anything (the
+// violation was fixed, or an interprocedural pass now verifies the site)
+// and names that match no registered analyzer (typos that would silently
+// suppress nothing). It keeps the escape-hatch inventory honest: every
+// surviving allow is one the analyzers still need.
+//
+// Unlike the other analyzers it cannot run per package: whether a
+// suppression earned its keep is only known after every other analyzer's
+// findings have been filtered. RunAnalyzers special-cases it — this Run
+// is a stub, and the real logic lives in suppressionIndex.staleFindings
+// (suppress.go). Its findings are appended after filtering, so they are
+// themselves unsuppressible.
+var StaleAllow = &Analyzer{
+	Name: "staleallow",
+	Doc:  "reject //easyio:allow comments that suppress nothing or name unknown analyzers",
+	Run:  func(*Pass) {},
+}

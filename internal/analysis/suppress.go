@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -13,6 +15,10 @@ import (
 // on the line directly above it. Everything from the first token that
 // starts with '(' or '-' is treated as rationale and ignored. A bare
 // "//easyio:allow all" suppresses every analyzer (use sparingly).
+//
+// Suppressions cannot rot: the staleallow analyzer (staleallow.go) fails
+// the build on any allow comment that names an unknown analyzer or that
+// suppressed nothing in a full run.
 const allowPrefix = "easyio:allow"
 
 // allowedNames parses one comment's text (without the // or /* markers)
@@ -33,25 +39,47 @@ func allowedNames(text string) []string {
 	return names
 }
 
-// suppressionIndex maps "file:line" to the set of analyzer names allowed
-// on that line.
-type suppressionIndex map[string]map[string]bool
-
-func (idx suppressionIndex) add(file string, line int, names []string) {
-	key := suppressKey(file, line)
-	set := idx[key]
-	if set == nil {
-		set = map[string]bool{}
-		idx[key] = set
-	}
-	for _, n := range names {
-		set[n] = true
-	}
+// allowComment is one //easyio:allow comment and its usage record.
+type allowComment struct {
+	pos   token.Position
+	names []string
+	// used records, per analyzer name, whether this comment suppressed at
+	// least one of that analyzer's diagnostics.
+	used map[string]bool
 }
 
-func (idx suppressionIndex) allows(file string, line int, analyzer string) bool {
-	set := idx[suppressKey(file, line)]
-	return set != nil && (set[analyzer] || set["all"])
+func (c *allowComment) covers(analyzer string) bool {
+	for _, n := range c.names {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressionIndex maps "file:line" to the allow comments covering that
+// line, and retains every comment for stale-allow auditing.
+type suppressionIndex struct {
+	byLine   map[string][]*allowComment
+	comments []*allowComment
+}
+
+func (idx *suppressionIndex) add(file string, line int, c *allowComment) {
+	key := suppressKey(file, line)
+	idx.byLine[key] = append(idx.byLine[key], c)
+}
+
+// allows reports whether any comment covers the diagnostic, marking every
+// covering comment as used.
+func (idx *suppressionIndex) allows(file string, line int, analyzer string) bool {
+	hit := false
+	for _, c := range idx.byLine[suppressKey(file, line)] {
+		if c.covers(analyzer) {
+			c.used[analyzer] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 func suppressKey(file string, line int) string {
@@ -79,8 +107,8 @@ func itoa(n int) string {
 
 // buildSuppressions scans every comment in pkgs and records which lines
 // each //easyio:allow comment covers (its own line and the next).
-func buildSuppressions(pkgs []*Package) suppressionIndex {
-	idx := suppressionIndex{}
+func buildSuppressions(pkgs []*Package) *suppressionIndex {
+	idx := &suppressionIndex{byLine: map[string][]*allowComment{}}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -92,9 +120,14 @@ func buildSuppressions(pkgs []*Package) suppressionIndex {
 					if names == nil {
 						continue
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					idx.add(pos.Filename, pos.Line, names)
-					idx.add(pos.Filename, pos.Line+1, names)
+					ac := &allowComment{
+						pos:   pkg.Fset.Position(c.Pos()),
+						names: names,
+						used:  map[string]bool{},
+					}
+					idx.comments = append(idx.comments, ac)
+					idx.add(ac.pos.Filename, ac.pos.Line, ac)
+					idx.add(ac.pos.Filename, ac.pos.Line+1, ac)
 				}
 			}
 		}
@@ -102,10 +135,9 @@ func buildSuppressions(pkgs []*Package) suppressionIndex {
 	return idx
 }
 
-// filterSuppressed drops diagnostics covered by an //easyio:allow
-// comment.
-func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	idx := buildSuppressions(pkgs)
+// filter drops diagnostics covered by an //easyio:allow comment,
+// recording which comments earned their keep.
+func (idx *suppressionIndex) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
 		if !idx.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
@@ -113,4 +145,61 @@ func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// staleFindings audits the allow comments after filtering: a name that is
+// not a registered analyzer is a typo that would silently suppress
+// nothing; a name whose analyzer ran but suppressed nothing is a stale
+// escape that must be deleted. Names of analyzers not in this run are
+// skipped (a partial -only run cannot judge them), and "all" is judged
+// only when the whole registry ran.
+func (idx *suppressionIndex) staleFindings(ran []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	fullRun := true
+	for name := range known {
+		if name != StaleAllow.Name && !ranSet[name] {
+			fullRun = false
+		}
+	}
+	var out []Diagnostic
+	for _, c := range idx.comments {
+		anyUsed := len(c.used) > 0
+		for _, name := range c.names {
+			var msg string
+			switch {
+			case name == "all":
+				if fullRun && !anyUsed {
+					msg = "stale //easyio:allow all: nothing to suppress; delete the comment"
+				}
+			case !known[name]:
+				msg = "unknown analyzer " + quote(name) + " in //easyio:allow (typos suppress nothing)"
+			case name == StaleAllow.Name:
+				msg = "//easyio:allow " + StaleAllow.Name + " is not suppressible: stale allows must be deleted, not allowed"
+			case ranSet[name] && !c.used[name] && !c.used["all"]:
+				msg = "stale //easyio:allow " + name + ": the analyzer found nothing here; delete the comment"
+			}
+			if msg != "" {
+				out = append(out, Diagnostic{Pos: c.pos, Analyzer: StaleAllow.Name, Message: msg})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+func quote(s string) string {
+	return "\"" + s + "\""
 }

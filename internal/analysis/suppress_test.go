@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAll runs the full registry (staleallow included) over one fixture.
+func runAll(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	pkg := fixturePkg(t, "", src)
+	return RunAnalyzers([]*Package{pkg}, All())
+}
+
+func findingsFor(diags []Diagnostic, analyzer string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestSuppressionScoping(t *testing.T) {
+	// Same line and the line directly above suppress; two lines above
+	// does not — the violation survives AND the comment is stale.
+	t.Run("same line", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	go fn() //easyio:allow nakedgo (sanctioned)
+}
+`)
+		wantFindings(t, diags, 0, "")
+	})
+	t.Run("line above", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	//easyio:allow nakedgo (sanctioned)
+	go fn()
+}
+`)
+		wantFindings(t, diags, 0, "")
+	})
+	t.Run("two lines above misses", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	//easyio:allow nakedgo (too far away)
+
+	go fn()
+}
+`)
+		if got := findingsFor(diags, "nakedgo"); len(got) != 1 {
+			t.Errorf("nakedgo findings = %v, want the unsuppressed violation", got)
+		}
+		if got := findingsFor(diags, "staleallow"); len(got) != 1 {
+			t.Errorf("staleallow findings = %v, want the out-of-range comment flagged", got)
+		}
+	})
+}
+
+func TestStaleAllow(t *testing.T) {
+	t.Run("stale comment flagged", func(t *testing.T) {
+		diags := runAll(t, `package fx
+//easyio:allow maporder (the loop this guarded was deleted)
+func ok() int { return 1 }
+`)
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 || !strings.Contains(got[0].Message, "stale") {
+			t.Fatalf("findings = %v, want one stale-allow diagnostic", diags)
+		}
+	})
+	t.Run("earning comment stays silent", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	//easyio:allow nakedgo (sanctioned backing goroutine)
+	go fn()
+}
+`)
+		wantFindings(t, diags, 0, "")
+	})
+	t.Run("unknown analyzer name flagged", func(t *testing.T) {
+		diags := runAll(t, `package fx
+//easyio:allow lockblance (typo: suppresses nothing)
+func ok() int { return 1 }
+`)
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 || !strings.Contains(got[0].Message, "unknown analyzer") {
+			t.Fatalf("findings = %v, want one unknown-analyzer diagnostic", diags)
+		}
+	})
+	t.Run("staleallow itself is not suppressible", func(t *testing.T) {
+		diags := runAll(t, `package fx
+//easyio:allow staleallow (trying to allow the auditor)
+func ok() int { return 1 }
+`)
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 || !strings.Contains(got[0].Message, "not suppressible") {
+			t.Fatalf("findings = %v, want the self-suppression rejected", diags)
+		}
+	})
+	t.Run("stale blanket all flagged on a full run", func(t *testing.T) {
+		diags := runAll(t, `package fx
+//easyio:allow all
+func ok() int { return 1 }
+`)
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 || !strings.Contains(got[0].Message, "all") {
+			t.Fatalf("findings = %v, want the blanket allow flagged", diags)
+		}
+	})
+	t.Run("earning blanket all stays silent", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	//easyio:allow all (kitchen sink, but it does suppress the go)
+	go fn()
+}
+`)
+		wantFindings(t, diags, 0, "")
+	})
+	t.Run("partial run cannot judge unexercised names", func(t *testing.T) {
+		// The comment names lockbalance but only maporder+staleallow run:
+		// lockbalance did not run, so the comment must not be called stale.
+		pkg := fixturePkg(t, "", `package fx
+//easyio:allow lockbalance (judged only when lockbalance runs)
+func ok() int { return 1 }
+`)
+		diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{MapOrder, StaleAllow})
+		wantFindings(t, diags, 0, "")
+	})
+	t.Run("partial run still judges names that ran", func(t *testing.T) {
+		pkg := fixturePkg(t, "", `package fx
+//easyio:allow maporder (stale even in a partial run)
+func ok() int { return 1 }
+`)
+		diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{MapOrder, StaleAllow})
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 {
+			t.Fatalf("findings = %v, want one stale-allow diagnostic", diags)
+		}
+	})
+	t.Run("multi-name comment judged per name", func(t *testing.T) {
+		diags := runAll(t, `package fx
+func launch(fn func()) {
+	//easyio:allow nakedgo maporder (nakedgo earns it, maporder is stale)
+	go fn()
+}
+`)
+		got := findingsFor(diags, "staleallow")
+		if len(got) != 1 || !strings.Contains(got[0].Message, "maporder") {
+			t.Fatalf("findings = %v, want only the maporder half flagged", diags)
+		}
+	})
+}

@@ -150,6 +150,12 @@ func (fs *FS) waitCompletion(t *caladan.Task) {
 func (fs *FS) waitPendingLocked(t *caladan.Task, ino *nova.Inode) {
 	cpu := fs.CPUCosts()
 	for ino.Pending > 0 {
+		if t == nil {
+			// Functional-context callers run outside the simulation, where
+			// no DMA is ever in flight; parking a nil task would corrupt
+			// the gate's wait queue. Same idiom as ULock.Lock.
+			panic("easyio: nil task blocked on the inode write gate")
+		}
 		fs.Charge(t, cpu.PollCheck)
 		if ino.Pending == 0 {
 			return
@@ -214,10 +220,8 @@ func (fs *FS) WriteAtClass(t *caladan.Task, f *nova.File, off int64, data []byte
 	}
 
 	if fs.opts.Naive {
-		//easyio:allow lockbalance (ino.Mu ownership transfers to writeNaive, which releases it)
 		return fs.writeNaive(t, ino, off, data, start)
 	}
-	//easyio:allow lockbalance (ino.Mu ownership transfers to writeOrderless, which releases it)
 	return fs.writeOrderless(t, ino, off, data, class, start)
 }
 
