@@ -12,9 +12,24 @@ go vet ./...
 echo '== go run ./cmd/easyio-vet ./...'
 go run ./cmd/easyio-vet ./...
 
-echo '== analyzer registry completeness (>= 10 analyzers)'
+echo '== analyzer registry completeness (>= 13 analyzers)'
 n=$(go run ./cmd/easyio-vet -list | wc -l)
-test "$n" -ge 10 || { echo "only $n analyzers registered"; exit 1; }
+test "$n" -ge 13 || { echo "only $n analyzers registered"; exit 1; }
+
+echo '== easyio-vet cache smoke (warm rerun byte-identical, all hits)'
+go build -o /tmp/easyio-vet-check ./cmd/easyio-vet
+rm -rf /tmp/easyio-vet-cache-check
+/tmp/easyio-vet-check -cache-dir /tmp/easyio-vet-cache-check -benchjson /tmp/easyio-vet-cold.json ./... > /tmp/easyio-vet-cold.txt
+/tmp/easyio-vet-check -cache-dir /tmp/easyio-vet-cache-check -benchjson /tmp/easyio-vet-warm.json ./... > /tmp/easyio-vet-warm.txt
+diff /tmp/easyio-vet-cold.txt /tmp/easyio-vet-warm.txt
+grep -q '"cache_hits": 0' /tmp/easyio-vet-cold.json || { echo "cold run unexpectedly hit the cache"; exit 1; }
+grep -q '"cache_misses": 0' /tmp/easyio-vet-warm.json || { echo "warm run missed the cache"; exit 1; }
+
+echo '== easyio-vet parallel determinism (-parallel 4 vs 1, uncached)'
+/tmp/easyio-vet-check -nocache -parallel 1 ./... > /tmp/easyio-vet-p1.txt
+/tmp/easyio-vet-check -nocache -parallel 4 ./... > /tmp/easyio-vet-p4.txt
+diff /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt
+rm -rf /tmp/easyio-vet-check /tmp/easyio-vet-cache-check /tmp/easyio-vet-cold.* /tmp/easyio-vet-warm.* /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt
 
 echo '== go test ./...'
 go test ./...

@@ -62,11 +62,11 @@ func main() {
 	run := func(name string, fn func()) {
 		if all || want[name] {
 			fmt.Printf("==== %s ====\n", name)
-			start := time.Now() //easyio:allow simtime (host-side wall-clock accounting for -benchjson)
+			start := time.Now()
 			fn()
 			report.Experiments = append(report.Experiments, bench.ExperimentTiming{
 				Name:   name,
-				WallMS: float64(time.Since(start).Microseconds()) / 1000, //easyio:allow simtime (host-side wall-clock accounting for -benchjson)
+				WallMS: float64(time.Since(start).Microseconds()) / 1000,
 			})
 		}
 	}

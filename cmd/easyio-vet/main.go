@@ -7,6 +7,15 @@
 //	go run ./cmd/easyio-vet -list          # show the analyzers
 //	go run ./cmd/easyio-vet -only lockbalance ./...
 //	go run ./cmd/easyio-vet -json ./...    # findings as a JSON array
+//	go run ./cmd/easyio-vet -parallel 8 -sarif vet.sarif ./...
+//
+// Full-module runs are incremental by default: per-package findings are
+// cached under .easyio-vet-cache/ keyed by a content hash of each
+// package's interprocedural closure, so a warm rerun skips both the
+// type checker and the analyzers for unchanged packages while printing
+// byte-identical output. -nocache forces a cold run; package-filtered
+// runs never use the cache (the filtered subgraph cannot hash the
+// closure soundly).
 //
 // Intentional violations are suppressed in source with a rationale:
 //
@@ -19,7 +28,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/easyio-sim/easyio/internal/analysis"
 )
@@ -35,15 +47,31 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// benchReport is the BENCH_vet.json shape: enough to track the vet's own
+// wall-clock cost and cache effectiveness across commits.
+type benchReport struct {
+	WallMS      float64 `json:"wall_ms"`
+	Packages    int     `json:"packages"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Findings    int     `json:"findings"`
+	Workers     int     `json:"workers"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col text")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent package analyses")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	benchPath := flag.String("benchjson", "", "write runner telemetry (BENCH_vet.json shape) to this file")
+	cacheDir := flag.String("cache-dir", "", "fact cache directory (default <module root>/.easyio-vet-cache)")
+	noCache := flag.Bool("nocache", false, "disable the fact cache for this run")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -61,23 +89,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := analysis.LoadModule(root)
+	start := time.Now()
+	all, err := analysis.ParseModule(root)
 	if err != nil {
 		fatal(err)
 	}
+	pkgs := filterPackages(all, flag.Args())
 
-	// Fail loudly on type errors: analyzers degrade silently without
-	// full type information, and the tree is expected to compile.
-	typeErrs := 0
-	for _, pkg := range pkgs {
-		for _, e := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "typecheck: %v\n", e)
-			typeErrs++
+	// The closure hash is only sound over the full loaded graph; a
+	// package-filtered run cannot see edits outside its slice, so it
+	// always analyzes fresh.
+	var cache *analysis.Cache
+	if !*noCache && len(pkgs) == len(all) {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(root, ".easyio-vet-cache")
 		}
+		cache = analysis.OpenCache(dir)
 	}
 
-	pkgs = filterPackages(pkgs, flag.Args())
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	// Fail loudly on type errors: analyzers degrade silently without
+	// full type information, and the tree is expected to compile. The
+	// check runs only when the cache actually misses — a warm run never
+	// type-checks (entries are only written by type-clean runs).
+	typeErrs := 0
+	res := analysis.RunAnalyzersOpts(pkgs, analyzers, analysis.RunOptions{
+		Workers: *parallel,
+		Cache:   cache,
+		EnsureTypes: func() {
+			analysis.TypeCheck(all)
+			for _, pkg := range all {
+				for _, e := range pkg.TypeErrors {
+					fmt.Fprintf(os.Stderr, "typecheck: %v\n", e)
+					typeErrs++
+				}
+			}
+		},
+	})
+	diags := res.Diags
+	wallMS := float64(time.Since(start).Microseconds()) / 1000
+
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(diags))
 		for _, d := range diags {
@@ -99,10 +150,128 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, root, analyzers, diags); err != nil {
+			fatal(err)
+		}
+	}
+	if *benchPath != "" {
+		rep := benchReport{
+			WallMS:      wallMS,
+			Packages:    res.Packages,
+			CacheHits:   res.CacheHits,
+			CacheMisses: res.CacheMisses,
+			Findings:    len(diags),
+			Workers:     *parallel,
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if len(diags) > 0 || typeErrs > 0 {
 		fmt.Fprintf(os.Stderr, "easyio-vet: %d finding(s), %d type error(s)\n", len(diags), typeErrs)
 		os.Exit(1)
 	}
+}
+
+// SARIF 2.1.0 output, minimal but schema-valid: one run, one rule per
+// registered analyzer, one result per finding with a file-relative URI.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(path, root string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = filepath.ToSlash(rel)
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "easyio-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // filterPackages applies the CLI package patterns: "./..." (or no

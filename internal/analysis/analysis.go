@@ -22,9 +22,19 @@
 //	chargebalance - syscall-visible ops charge each cost constant exactly once
 //	parkcontext   - Park/Gate.Wait only reachable from non-nil uthreads
 //	staleallow    - no //easyio:allow comment that suppresses nothing
+//	persistorder  - stores reaching a commit point are fenced on all paths
+//	fencehygiene  - no redundant fences, no stores leaked unfenced at roots
+//	recoverypurity- recovery code reads only crash-surviving state
+//
+// The last three ride on the persistence dataflow engine (dataflow.go):
+// a path-sensitive walker abstracts each function into a persistence
+// automaton (pending-store set, fence state, commit points) propagated
+// bottom-up over the call-graph SCCs.
 //
 // cmd/easyio-vet is the CLI driver; it exits nonzero on findings, so CI
-// gates every PR on these invariants.
+// gates every PR on these invariants. runner.go adds per-package
+// parallel execution and a content-hash keyed fact cache for incremental
+// runs; both preserve byte-identical findings.
 package analysis
 
 import (
@@ -79,6 +89,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Simtime, Detrand, NakedGo, MapOrder, LockBalance, ErrcheckPmem,
 		CBGate, ChargeBalance, ParkContext, StaleAllow,
+		PersistOrder, FenceHygiene, RecoveryPurity,
 	}
 }
 
@@ -103,25 +114,15 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // RunAnalyzers applies each analyzer to each package and returns the
 // findings that survive //easyio:allow suppression, sorted by position.
+// It is the sequential, uncached entry point; see runner.go for the
+// parallel and incremental variants.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	mod := BuildModule(pkgs)
-	var diags []Diagnostic
-	ranStale := false
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a == StaleAllow {
-				// Whole-run analyzer: judged after filtering, below.
-				ranStale = true
-				continue
-			}
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
-		}
-	}
-	sup := buildSuppressions(pkgs)
-	diags = sup.filter(diags)
-	if ranStale {
-		diags = append(diags, sup.staleFindings(analyzers)...)
-	}
+	return RunAnalyzersOpts(pkgs, analyzers, RunOptions{}).Diags
+}
+
+// sortDiags orders findings by (file, line, column, analyzer) — the
+// stable order every runner variant must produce.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -135,7 +136,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // walkFiles applies fn to every file of the pass's package.

@@ -1,0 +1,234 @@
+package analysis
+
+// The fact cache keys each package's post-suppression findings by a
+// content hash of everything that can influence them:
+//
+//   - the cache format version and the analyzer set,
+//   - the identity of the whole loaded package set (a partial -only or
+//     package-filtered run must not share entries with a full run),
+//   - the module-wide interface-method-name set (it feeds fencehygiene's
+//     dynamic-dispatch exemption and is not confined to any closure),
+//   - the source bytes of every package in the interprocedural closure.
+//
+// The closure is bidirectional: findings in P depend on P's callees
+// (their summaries, transitively — the import cone) and on P's callers
+// (cbgate and persistorder judge calling contexts — the reverse-import
+// cone), and each caller's context again depends on its own callees. So
+// closure(P) = deps*(rdeps*(P) ∪ {P}). Anything outside it cannot change
+// P's findings, which is what makes a hit sound to replay byte-for-byte.
+//
+// Each entry also records the (file, line, analyzer) triples its
+// //easyio:allow comments suppressed, so a warm run replays suppression
+// usage and staleallow stays exact across cached packages.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/ast"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheVersion invalidates every entry when the analyzer semantics or
+// the entry format change.
+const cacheVersion = "easyio-vet-v1"
+
+// Cache is a directory of per-key JSON entries.
+type Cache struct {
+	dir string
+}
+
+// OpenCache returns a cache rooted at dir (created lazily on first put).
+func OpenCache(dir string) *Cache { return &Cache{dir: dir} }
+
+// UsedAllow records one suppression consumption so staleallow can be
+// judged without re-running the analyzers of a cached package.
+type UsedAllow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+}
+
+type cacheEntry struct {
+	Version  string       `json:"version"`
+	Findings []Diagnostic `json:"findings"`
+	Used     []UsedAllow  `json:"used"`
+}
+
+func (c *Cache) get(key string) (cacheEntry, bool) {
+	if c == nil || key == "" {
+		return cacheEntry{}, false
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var ent cacheEntry
+	if json.Unmarshal(b, &ent) != nil || ent.Version != cacheVersion {
+		return cacheEntry{}, false
+	}
+	return ent, true
+}
+
+func (c *Cache) put(key string, ent cacheEntry) {
+	if c == nil || key == "" {
+		return
+	}
+	ent.Version = cacheVersion
+	b, err := json.Marshal(ent)
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent runs from seeing torn entries.
+	tmp := filepath.Join(c.dir, key+".tmp")
+	if os.WriteFile(tmp, b, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+}
+
+// cacheKeys computes the closure-hash key per package. A package whose
+// sources cannot be re-read (synthetic test fixtures) or whose closure
+// contains such a package gets "" — uncacheable, always analyzed fresh.
+func cacheKeys(pkgs []*Package, analyzers []*Analyzer) map[*Package]string {
+	content := map[string]string{} // pkg path -> content hash ("" = unhashable)
+	byPath := map[string]*Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+		h := sha256.New()
+		io.WriteString(h, pkg.Path+"\x00"+pkg.Dir+"\x00")
+		good := true
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			b, err := os.ReadFile(name)
+			if err != nil {
+				good = false
+				break
+			}
+			io.WriteString(h, filepath.Base(name)+"\x00")
+			h.Write(b)
+			io.WriteString(h, "\x00")
+		}
+		if good {
+			content[pkg.Path] = hex.EncodeToString(h.Sum(nil))
+		}
+	}
+
+	imports := map[string][]string{}
+	rimports := map[string][]string{}
+	for _, pkg := range pkgs {
+		for _, dep := range moduleImports(pkg, pkg.modPath) {
+			if _, ok := byPath[dep]; !ok {
+				continue
+			}
+			imports[pkg.Path] = append(imports[pkg.Path], dep)
+			rimports[dep] = append(rimports[dep], pkg.Path)
+		}
+	}
+	reach := func(edges map[string][]string, start string) map[string]bool {
+		seen := map[string]bool{start: true}
+		stack := []string{start}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, q := range edges[p] {
+				if !seen[q] {
+					seen[q] = true
+					stack = append(stack, q)
+				}
+			}
+		}
+		return seen
+	}
+
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	var paths []string
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	prelude := cacheVersion + "\x00" + strings.Join(names, ",") + "\x00" +
+		strings.Join(paths, ",") + "\x00" + ifaceNamesHash(pkgs) + "\x00"
+
+	keys := make(map[*Package]string, len(pkgs))
+	for _, pkg := range pkgs {
+		closure := map[string]bool{}
+		callers := reach(rimports, pkg.Path)
+		sorted := make([]string, 0, len(callers))
+		for r := range callers {
+			sorted = append(sorted, r)
+		}
+		sort.Strings(sorted)
+		for _, r := range sorted {
+			for d := range reach(imports, r) {
+				closure[d] = true
+			}
+		}
+		member := make([]string, 0, len(closure))
+		hashable := true
+		for p := range closure {
+			if content[p] == "" {
+				hashable = false
+				break
+			}
+			member = append(member, p)
+		}
+		if !hashable {
+			keys[pkg] = ""
+			continue
+		}
+		sort.Strings(member)
+		h := sha256.New()
+		io.WriteString(h, prelude)
+		io.WriteString(h, pkg.Path+"\x00")
+		for _, p := range member {
+			io.WriteString(h, p+"="+content[p]+"\x00")
+		}
+		keys[pkg] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys
+}
+
+// ifaceNamesHash hashes the module-wide interface-method-name set,
+// computed syntactically so the warm path needs no type information.
+func ifaceNamesHash(pkgs []*Package) string {
+	set := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, mth := range it.Methods.List {
+					for _, nm := range mth.Names {
+						set[nm.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.Sum256([]byte(strings.Join(names, ",")))
+	return hex.EncodeToString(h[:])
+}

@@ -43,9 +43,16 @@ type ModuleInfo struct {
 	SCCs [][]*FuncNode
 	// Summaries holds the computed effect summary per function.
 	Summaries map[*types.Func]*Summary
+	// Persist holds the persistence automaton summary per function
+	// (dataflow.go), and PersistLits the anonymous function-literal
+	// units.
+	Persist     map[*types.Func]*PersistSummary
+	PersistLits []*PersistSummary
 
 	pkgs      []*Package
+	pkgPaths  map[string]bool
 	fsMethods map[string]bool
+	ifaceMths map[string]bool
 	gatedCtx  map[*FuncNode]bool
 }
 
@@ -75,7 +82,12 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	mod := &ModuleInfo{
 		Funcs:     map[*types.Func]*FuncNode{},
 		Summaries: map[*types.Func]*Summary{},
+		Persist:   map[*types.Func]*PersistSummary{},
 		pkgs:      pkgs,
+		pkgPaths:  map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		mod.pkgPaths[pkg.Path] = true
 	}
 	for _, pkg := range pkgs {
 		if pkg.Info == nil {
@@ -120,7 +132,18 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	}
 	mod.SCCs = tarjanSCC(mod.Nodes)
 	computeSummaries(mod)
+	computePersistSummaries(mod)
+	// Precompute the lazily memoized views so Pass.Mod is read-only
+	// during (possibly parallel) analyzer execution.
+	mod.fsMethodNames()
+	mod.interfaceMethodNames()
+	mod.entryGated()
 	return mod
+}
+
+// HasPkgPath reports whether path is one of the loaded module packages.
+func (m *ModuleInfo) HasPkgPath(path string) bool {
+	return m.pkgPaths[path]
 }
 
 // staticCallee resolves a call expression to the concrete *types.Func it
@@ -253,6 +276,39 @@ func (m *ModuleInfo) fsMethodNames() map[string]bool {
 		}
 	}
 	m.fsMethods = set
+	return set
+}
+
+// interfaceMethodNames collects the method names of every interface type
+// declared anywhere in the module. A method whose name matches one may be
+// invoked via dynamic dispatch the static call graph cannot see, so
+// root-based checks (fencehygiene's leak analysis) must not judge it.
+func (m *ModuleInfo) interfaceMethodNames() map[string]bool {
+	if m.ifaceMths != nil {
+		return m.ifaceMths
+	}
+	set := map[string]bool{}
+	for _, pkg := range m.pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, mth := range it.Methods.List {
+					for _, nm := range mth.Names {
+						set[nm.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	m.ifaceMths = set
 	return set
 }
 

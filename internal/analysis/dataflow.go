@@ -1,0 +1,806 @@
+package analysis
+
+// This file is the persistence dataflow engine: an SSA-lite abstraction
+// of each function over the already-typed ASTs. The path-sensitive
+// walker (pWalker, mirroring summary.go's sumWalker) tracks, along every
+// control-flow path, which pmem Device stores are still pending (not yet
+// covered by a Fence), whether a Fence has executed since function
+// entry, and whether the device is provably clean (fenced with no store
+// since). Each function is abstracted into a PersistSummary — a
+// persistence automaton with states {clean, dirty(pending set), fenced}
+// — propagated bottom-up over the call-graph SCCs so the persistorder
+// and fencehygiene analyzers reason interprocedurally.
+//
+// Recognized primitives (by receiver type, so fixtures work unchanged):
+//
+//	X.WriteAt(off, b) / X.Write8(off, v)  with X of type Device — a store
+//	X.Fence()                             with X of type Device — a fence
+//
+// A store is a *commit point* when it executes inside a function named
+// CommitTail or when its offset expression references JournalOff or
+// SuperOff (the journal-commit and superblock writes). Fences are
+// device-global: any fence — including one inside a callee — persists
+// every pending store in the caller too.
+//
+// Conservative blind spots, by construction (documented in DESIGN.md §7):
+// dynamic dispatch (interface calls, func values) may store or fence, so
+// it kills the "clean" proof but neither clears nor extends the pending
+// set; break/continue fall through linearly (the loop merge keeps the
+// approximation sound for may-pending); deferred persistence effects are
+// replayed at every exit in reverse registration order.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// maxPendingSites bounds the tracked pending-store set so the SCC
+// fixpoint terminates; overflow keeps the first sites (the ones a
+// finding would cite anyway).
+const maxPendingSites = 16
+
+// StoreSite identifies one persistent store (or, interprocedurally, the
+// call site whose callee may leave stores pending).
+type StoreSite struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// CommitSite identifies one commit-point store.
+type CommitSite struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// UnfencedCommit is one persist-order violation: a commit point executed
+// while stores were still pending (no Fence between store and commit on
+// some path).
+type UnfencedCommit struct {
+	Stores []StoreSite
+	Commit CommitSite
+}
+
+// PersistSummary is the persistence automaton of one function (or
+// function literal), including effects of statically resolved callees.
+type PersistSummary struct {
+	Node *FuncNode
+	// Lit marks a function-literal unit: intra-function findings are
+	// reported, but exit-pending is not judged (callers are dynamic).
+	Lit bool
+	// Stores: some path may execute a persistent store.
+	Stores bool
+	// MayFence: some path executes a Fence.
+	MayFence bool
+	// MustFence: every normal exit executed at least one Fence.
+	MustFence bool
+	// CleanExit: every normal exit leaves the device provably clean
+	// (last persistence-relevant operation was a Fence).
+	CleanExit bool
+	// PendingAtExit: stores that may still be unfenced at some normal
+	// exit — the caller (or, at a call-graph root, nobody) must fence.
+	PendingAtExit []StoreSite
+	// Commits: commit-point stores executed directly in this function.
+	Commits []CommitSite
+	// CommitNoPriorFence: commit points reachable with no Fence since
+	// function entry — a caller with pending stores at the call site
+	// would commit them unfenced.
+	CommitNoPriorFence []CommitSite
+	// Unfenced: persist-order violations local to this function's walk
+	// (including call sites whose callee commits under entry-pending).
+	Unfenced []UnfencedCommit
+	// Redundant: Fence calls that are provably back-to-back — the device
+	// was already clean on every path reaching them.
+	Redundant []token.Pos
+}
+
+// fingerprint renders the caller-relevant fields for SCC fixpoint
+// convergence detection.
+func (s *PersistSummary) fingerprint() string {
+	var b strings.Builder
+	if s.Stores {
+		b.WriteString("S")
+	}
+	if s.MayFence {
+		b.WriteString("f")
+	}
+	if s.MustFence {
+		b.WriteString("F")
+	}
+	if s.CleanExit {
+		b.WriteString("C")
+	}
+	b.WriteString("|")
+	for _, p := range s.PendingAtExit {
+		b.WriteString(strconv.Itoa(int(p.Pos)))
+		b.WriteString(",")
+	}
+	b.WriteString("|")
+	for _, c := range s.CommitNoPriorFence {
+		b.WriteString(strconv.Itoa(int(c.Pos)))
+		b.WriteString(",")
+	}
+	b.WriteString("|")
+	b.WriteString(strconv.Itoa(len(s.Unfenced)))
+	b.WriteString("|")
+	b.WriteString(strconv.Itoa(len(s.Redundant)))
+	return b.String()
+}
+
+// PersistSummaryFor returns the persistence summary for fn, or nil for
+// functions outside the module.
+func (m *ModuleInfo) PersistSummaryFor(fn *types.Func) *PersistSummary {
+	if fn == nil {
+		return nil
+	}
+	return m.Persist[fn]
+}
+
+// PersistLitsOf returns the function-literal persistence units whose
+// enclosing declaration lives in pkg.
+func (m *ModuleInfo) PersistLitsOf(pkg *Package) []*PersistSummary {
+	var out []*PersistSummary
+	for _, s := range m.PersistLits {
+		if s.Node.Pkg == pkg {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// computePersistSummaries runs the persistence walker bottom-up over the
+// SCCs (fixpoint inside recursive components, like computeSummaries),
+// then analyzes every function literal as its own anonymous unit.
+func computePersistSummaries(mod *ModuleInfo) {
+	const sccMaxIter = 6
+	for _, scc := range mod.SCCs {
+		if !selfRecursive(scc) {
+			n := scc[0]
+			mod.Persist[n.Obj] = summarizePersist(mod, n, n.Decl.Body, false)
+			continue
+		}
+		for _, n := range scc {
+			mod.Persist[n.Obj] = &PersistSummary{Node: n}
+		}
+		stable := false
+		for iter := 0; iter < sccMaxIter && !stable; iter++ {
+			stable = true
+			for _, n := range scc {
+				next := summarizePersist(mod, n, n.Decl.Body, false)
+				if next.fingerprint() != mod.Persist[n.Obj].fingerprint() {
+					stable = false
+				}
+				mod.Persist[n.Obj] = next
+			}
+		}
+	}
+	for _, n := range mod.Nodes {
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok {
+				mod.PersistLits = append(mod.PersistLits, summarizePersist(mod, n, lit.Body, true))
+			}
+			return true
+		})
+	}
+}
+
+// pState is the abstract persistence state along one control-flow path.
+type pState struct {
+	// pending are the may-unfenced stores, in first-seen order.
+	pending []StoreSite
+	// fenced is true once a Fence must have executed on this path.
+	fenced bool
+	// clean is true when the device is provably clean: a Fence executed
+	// and nothing may have stored since.
+	clean bool
+}
+
+func (s *pState) clone() *pState {
+	c := &pState{fenced: s.fenced, clean: s.clean}
+	c.pending = append(c.pending, s.pending...)
+	return c
+}
+
+// merge joins two live states: pending unions (may-analysis), fenced and
+// clean intersect (must-analyses).
+func (s *pState) merge(o *pState) *pState {
+	out := &pState{fenced: s.fenced && o.fenced, clean: s.clean && o.clean}
+	out.pending = append(out.pending, s.pending...)
+	for _, site := range o.pending {
+		out.pending = addSite(out.pending, site)
+	}
+	return out
+}
+
+func addSite(sites []StoreSite, site StoreSite) []StoreSite {
+	for _, s := range sites {
+		if s.Pos == site.Pos {
+			return sites
+		}
+	}
+	if len(sites) >= maxPendingSites {
+		return sites
+	}
+	return append(sites, site)
+}
+
+// pDefer is one deferred call's persistence effect, replayed at exits.
+type pDefer struct {
+	fence    bool // executes a Fence on every path
+	mayTouch bool // may store or fence (kills the clean proof)
+	pending  []StoreSite
+}
+
+// pWalker computes one function's persistence summary.
+type pWalker struct {
+	mod    *ModuleInfo
+	node   *FuncNode
+	sum    *PersistSummary
+	defers []pDefer
+	exits  []*pState
+}
+
+func summarizePersist(mod *ModuleInfo, n *FuncNode, body *ast.BlockStmt, lit bool) *PersistSummary {
+	w := &pWalker{mod: mod, node: n, sum: &PersistSummary{Node: n, Lit: lit}}
+	st, terminated := w.stmts(body.List, &pState{})
+	if !terminated {
+		w.recordExit(st)
+	}
+	w.finish()
+	return w.sum
+}
+
+func (w *pWalker) info() *types.Info { return w.node.Pkg.Info }
+
+func (w *pWalker) recordExit(st *pState) {
+	ex := st.clone()
+	for i := len(w.defers) - 1; i >= 0; i-- {
+		d := w.defers[i]
+		if d.mayTouch {
+			ex.clean = false
+		}
+		if d.fence {
+			ex.fenced, ex.clean, ex.pending = true, true, nil
+		}
+		for _, site := range d.pending {
+			ex.pending = addSite(ex.pending, site)
+			ex.clean = false
+		}
+	}
+	w.exits = append(w.exits, ex)
+}
+
+// finish folds the recorded exits into the function-level summary. A
+// function whose every path panics has no normal exit: callers never see
+// code after the call, so it neither fences nor leaks for them.
+func (w *pWalker) finish() {
+	if len(w.exits) == 0 {
+		return
+	}
+	w.sum.MustFence = true
+	w.sum.CleanExit = true
+	for _, ex := range w.exits {
+		if !ex.fenced {
+			w.sum.MustFence = false
+		}
+		if !ex.clean {
+			w.sum.CleanExit = false
+		}
+		for _, site := range ex.pending {
+			w.sum.PendingAtExit = addSite(w.sum.PendingAtExit, site)
+		}
+	}
+}
+
+// stmts walks a statement list, returning the out-state and whether
+// every path through the list terminated (return, panic, or branch).
+func (w *pWalker) stmts(list []ast.Stmt, st *pState) (*pState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *pWalker) stmt(s ast.Stmt, st *pState) (*pState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanCalls(s, st)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			// A panic path is a crash path: pending stores are exactly
+			// what crash consistency already tolerates losing.
+			return st, true
+		}
+	case *ast.ReturnStmt:
+		w.scanCalls(s, st)
+		w.recordExit(st)
+		return st, true
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, st)
+	case *ast.GoStmt:
+		// A spawned goroutine is a different execution context.
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Tag, st)
+		return w.branches(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		return w.branches(s.Body, st)
+	case *ast.SelectStmt:
+		return w.branches(s.Body, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		w.loopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		w.loopBody(s.Body, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leaves this list; the surrounding loop
+		// merge keeps the approximation sound.
+		return st, true
+	default:
+		w.scanCalls(s, st)
+	}
+	return st, false
+}
+
+// loopBody analyses the body once against a clone, then merges the
+// zero-iteration state with the post-body state: stores inside the body
+// may be pending after the loop, and fences inside it are not guaranteed
+// (zero iterations fence nothing).
+func (w *pWalker) loopBody(body *ast.BlockStmt, st *pState) {
+	out, _ := w.stmts(body.List, st.clone())
+	merged := st.merge(out)
+	st.pending, st.fenced, st.clean = merged.pending, merged.fenced, merged.clean
+}
+
+func (w *pWalker) ifStmt(s *ast.IfStmt, st *pState) (*pState, bool) {
+	if s.Init != nil {
+		st, _ = w.stmt(s.Init, st)
+	}
+	w.scanExpr(s.Cond, st)
+	thenState, thenTerm := w.stmts(s.Body.List, st.clone())
+	elseState := st.clone()
+	elseTerm := false
+	if s.Else != nil {
+		elseState, elseTerm = w.stmt(s.Else, elseState)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseState, false
+	case elseTerm:
+		return thenState, false
+	default:
+		return thenState.merge(elseState), false
+	}
+}
+
+// branches handles switch/type-switch/select clause bodies with clones
+// and merges the live outcomes; without a default clause, falling past
+// the statement keeps the entry state live.
+func (w *pWalker) branches(body *ast.BlockStmt, st *pState) (*pState, bool) {
+	hasDefault := false
+	var live []*pState
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		out, term := w.stmts(stmts, st.clone())
+		if !term {
+			live = append(live, out)
+		}
+	}
+	if !hasDefault {
+		live = append(live, st)
+	}
+	if len(live) == 0 {
+		return st, true
+	}
+	out := live[0]
+	for _, o := range live[1:] {
+		out = out.merge(o)
+	}
+	return out, false
+}
+
+// scanCalls processes every call expression inside a leaf statement, in
+// source order, skipping function-literal bodies (analyzed as their own
+// units).
+func (w *pWalker) scanCalls(s ast.Stmt, st *pState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n, st)
+		}
+		return true
+	})
+}
+
+func (w *pWalker) scanExpr(e ast.Expr, st *pState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n, st)
+		}
+		return true
+	})
+}
+
+// isDevice reports whether expr has the (possibly pointer-to) named type
+// Device — the pmem device in the real tree, any Device in fixtures.
+func (w *pWalker) isDevice(expr ast.Expr) bool {
+	info := w.info()
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return namedTypeIs(tv.Type, "Device")
+}
+
+// isCommitStore classifies a device store as a commit point: any store
+// inside a function named CommitTail, or a store whose offset argument
+// references JournalOff or SuperOff.
+func (w *pWalker) isCommitStore(call *ast.CallExpr) bool {
+	if !w.sum.Lit && w.node.Decl.Name.Name == "CommitTail" {
+		return true
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	commit := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (id.Name == "JournalOff" || id.Name == "SuperOff") {
+			commit = true
+		}
+		return true
+	})
+	return commit
+}
+
+func (w *pWalker) call(call *ast.CallExpr, st *pState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Fence":
+			if len(call.Args) == 0 && w.isDevice(sel.X) {
+				w.fence(call.Pos(), st)
+				return
+			}
+		case "WriteAt", "Write8":
+			if w.isDevice(sel.X) {
+				w.store(call, sel, st)
+				return
+			}
+		}
+	}
+	if fn := staticCallee(w.info(), call); fn != nil {
+		if cn := w.mod.Funcs[fn]; cn != nil {
+			// The device implementation package is protocol-neutral: its
+			// exported helpers (CrashImage, Snapshot, ...) replay
+			// already-durable records into fresh devices rather than
+			// participate in a caller's persistence protocol. The real
+			// primitives — WriteAt/Write8/Fence on a Device value — are
+			// recognized syntactically above, before this branch.
+			if ps := w.mod.Persist[fn]; ps != nil && !deviceImplPkg(cn.Pkg) {
+				w.applyCallee(call, fn, ps, st)
+			}
+			return
+		}
+		// External (stdlib) code cannot touch the pmem device.
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if info := w.info(); info != nil {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+	}
+	if info := w.info(); info != nil {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return // type conversion
+		}
+	}
+	// Dynamic dispatch: the target may store or fence. It cannot prove
+	// the device clean, and we neither clear nor extend the pending set.
+	st.clean = false
+}
+
+func (w *pWalker) fence(pos token.Pos, st *pState) {
+	w.sum.MayFence = true
+	if st.clean {
+		w.addRedundant(pos)
+	}
+	st.fenced, st.clean, st.pending = true, true, nil
+}
+
+func (w *pWalker) store(call *ast.CallExpr, sel *ast.SelectorExpr, st *pState) {
+	w.sum.Stores = true
+	desc := exprString(sel.X) + "." + sel.Sel.Name
+	if w.isCommitStore(call) {
+		cs := CommitSite{Pos: call.Pos(), Desc: desc}
+		w.sum.Commits = append(w.sum.Commits, cs)
+		if len(st.pending) > 0 {
+			w.addUnfenced(st.pending, cs)
+		}
+		if !st.fenced {
+			w.addCommitNoPriorFence(cs)
+		}
+	}
+	st.pending = addSite(st.pending, StoreSite{Pos: call.Pos(), Desc: desc})
+	st.clean = false
+}
+
+// applyCallee folds a summarized callee's persistence effects into the
+// caller's path state. Fences are device-global, so a callee that must
+// fence clears the caller's pending set too.
+func (w *pWalker) applyCallee(call *ast.CallExpr, fn *types.Func, ps *PersistSummary, st *pState) {
+	if ps.Stores {
+		w.sum.Stores = true
+	}
+	if ps.MayFence {
+		w.sum.MayFence = true
+	}
+	if len(ps.CommitNoPriorFence) > 0 {
+		if len(st.pending) > 0 {
+			w.addUnfenced(st.pending, CommitSite{
+				Pos:  call.Pos(),
+				Desc: "call to " + fn.Name() + " (commits before its first fence)",
+			})
+		}
+		if !st.fenced {
+			w.addCommitNoPriorFence(CommitSite{Pos: call.Pos(), Desc: "commit inside " + fn.Name()})
+		}
+	}
+	if ps.MustFence {
+		st.fenced = true
+		st.pending = nil
+		st.clean = ps.CleanExit && len(ps.PendingAtExit) == 0
+	} else if ps.Stores || ps.MayFence {
+		st.clean = false
+	}
+	if len(ps.PendingAtExit) > 0 {
+		st.pending = addSite(st.pending, StoreSite{Pos: call.Pos(), Desc: "store(s) inside " + fn.Name()})
+		st.clean = false
+	}
+}
+
+func (w *pWalker) deferCall(call *ast.CallExpr, st *pState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Fence":
+			if len(call.Args) == 0 && w.isDevice(sel.X) {
+				w.sum.MayFence = true
+				w.defers = append(w.defers, pDefer{fence: true, mayTouch: true})
+				return
+			}
+		case "WriteAt", "Write8":
+			if w.isDevice(sel.X) {
+				w.sum.Stores = true
+				site := StoreSite{Pos: call.Pos(), Desc: exprString(sel.X) + "." + sel.Sel.Name}
+				w.defers = append(w.defers, pDefer{mayTouch: true, pending: []StoreSite{site}})
+				return
+			}
+		}
+	}
+	if fn := staticCallee(w.info(), call); fn != nil {
+		cn := w.mod.Funcs[fn]
+		if cn == nil {
+			return
+		}
+		ps := w.mod.Persist[fn]
+		if ps == nil || deviceImplPkg(cn.Pkg) {
+			// See call(): device-package helpers are protocol-neutral.
+			return
+		}
+		d := pDefer{fence: ps.MustFence, mayTouch: ps.Stores || ps.MayFence}
+		if ps.Stores {
+			w.sum.Stores = true
+		}
+		if ps.MayFence {
+			w.sum.MayFence = true
+		}
+		if len(ps.PendingAtExit) > 0 {
+			d.pending = []StoreSite{{Pos: call.Pos(), Desc: "store(s) inside " + fn.Name()}}
+		}
+		w.defers = append(w.defers, d)
+		return
+	}
+	w.defers = append(w.defers, pDefer{mayTouch: true})
+}
+
+func (w *pWalker) addUnfenced(pending []StoreSite, commit CommitSite) {
+	for _, u := range w.sum.Unfenced {
+		if u.Commit.Pos == commit.Pos {
+			return
+		}
+	}
+	stores := make([]StoreSite, len(pending))
+	copy(stores, pending)
+	w.sum.Unfenced = append(w.sum.Unfenced, UnfencedCommit{Stores: stores, Commit: commit})
+}
+
+func (w *pWalker) addCommitNoPriorFence(cs CommitSite) {
+	for _, c := range w.sum.CommitNoPriorFence {
+		if c.Pos == cs.Pos {
+			return
+		}
+	}
+	w.sum.CommitNoPriorFence = append(w.sum.CommitNoPriorFence, cs)
+}
+
+func (w *pWalker) addRedundant(pos token.Pos) {
+	for _, p := range w.sum.Redundant {
+		if p == pos {
+			return
+		}
+	}
+	w.sum.Redundant = append(w.sum.Redundant, pos)
+}
+
+// ---------------------------------------------------------------------
+// Def-use taint tracking (file-scoped), used by simtime's host-side mode
+// to prove that a wall-clock value flows only into host telemetry and
+// never into simulation input.
+
+// taintSet tracks which objects and expressions of one file carry a
+// value derived from a seed expression (e.g. a time.Now() result).
+type taintSet struct {
+	info *types.Info
+	objs map[types.Object]bool
+	// seed reports whether a call expression originates a tainted value.
+	seed func(*ast.CallExpr) bool
+}
+
+func newTaintSet(info *types.Info, seed func(*ast.CallExpr) bool) *taintSet {
+	return &taintSet{info: info, objs: map[types.Object]bool{}, seed: seed}
+}
+
+// propagate runs the def-use fixpoint over every assignment in the file
+// (closures included): any object assigned from a tainted expression
+// becomes tainted.
+func (t *taintSet) propagate(f *ast.File) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if t.tainted(n.Rhs[i]) && t.markLHS(lhs) {
+							changed = true
+						}
+					}
+				} else if anyTainted(t, n.Rhs) {
+					for _, lhs := range n.Lhs {
+						if t.markLHS(lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, name := range n.Names {
+						if t.tainted(n.Values[i]) && t.markIdent(name) {
+							changed = true
+						}
+					}
+				} else if anyTainted(t, n.Values) {
+					for _, name := range n.Names {
+						if t.markIdent(name) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func anyTainted(t *taintSet, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if t.tainted(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *taintSet) markLHS(lhs ast.Expr) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		return t.markIdent(id)
+	}
+	return false
+}
+
+func (t *taintSet) markIdent(id *ast.Ident) bool {
+	var obj types.Object
+	if o, ok := t.info.Defs[id]; ok && o != nil {
+		obj = o
+	} else if o, ok := t.info.Uses[id]; ok && o != nil {
+		obj = o
+	}
+	if obj == nil || t.objs[obj] {
+		return false
+	}
+	t.objs[obj] = true
+	return true
+}
+
+// tainted reports whether the expression's value derives from a seed:
+// seed calls, tainted identifiers, method calls on tainted receivers,
+// conversions, selectors, arithmetic and indexing over tainted operands.
+func (t *taintSet) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o, ok := t.info.Uses[e]; ok && o != nil {
+			return t.objs[o]
+		}
+		return false
+	case *ast.CallExpr:
+		if t.seed(e) {
+			return true
+		}
+		if tv, ok := t.info.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && t.tainted(e.Args[0])
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return t.tainted(sel.X)
+		}
+		return false
+	case *ast.SelectorExpr:
+		return t.tainted(e.X)
+	case *ast.BinaryExpr:
+		return t.tainted(e.X) || t.tainted(e.Y)
+	case *ast.UnaryExpr:
+		return t.tainted(e.X)
+	case *ast.ParenExpr:
+		return t.tainted(e.X)
+	case *ast.StarExpr:
+		return t.tainted(e.X)
+	case *ast.IndexExpr:
+		return t.tainted(e.X)
+	}
+	return false
+}

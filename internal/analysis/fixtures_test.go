@@ -14,11 +14,18 @@ import (
 // packages by import path can pass their own.
 func fixturePkg(t *testing.T, path, src string) *Package {
 	t.Helper()
+	return fixturePkgFile(t, path, "fixture.go", src)
+}
+
+// fixturePkgFile is fixturePkg with an explicit filename, for analyzers
+// that scope by file basename (recoverypurity keys on recover.go).
+func fixturePkgFile(t *testing.T, path, filename, src string) *Package {
+	t.Helper()
 	if path == "" {
 		path = "fixture"
 	}
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parse fixture: %v", err)
 	}
@@ -45,6 +52,59 @@ func fixturePkg(t *testing.T, path, src string) *Package {
 		Types: tpkg,
 		Info:  info,
 	}
+}
+
+// fixtureSrc is one package of a multi-package fixture module.
+type fixtureSrc struct {
+	Path string // import path, e.g. "example.com/m/internal/sim"
+	Src  string
+}
+
+// fixtureModule type-checks several inline packages as one module (list
+// dependencies before their importers). Analyzers that classify by
+// module membership (simtime's host mode) see modPath as the module
+// path.
+func fixtureModule(t *testing.T, modPath string, srcs []fixtureSrc) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	var pkgs []*Package
+	for i, s := range srcs {
+		f, err := parser.ParseFile(fset, "fixture"+itoa(i)+".go", s.Src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", s.Path, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: &moduleImporter{
+				stdlib:  importer.ForCompiler(fset, "source", nil),
+				modPath: modPath,
+				checked: checked,
+			},
+			Error: func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, _ := conf.Check(s.Path, fset, []*ast.File{f}, info)
+		if len(terrs) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", s.Path, terrs)
+		}
+		checked[s.Path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:    s.Path,
+			Name:    f.Name.Name,
+			Fset:    fset,
+			Files:   []*ast.File{f},
+			Types:   tpkg,
+			Info:    info,
+			modPath: modPath,
+		})
+	}
+	return pkgs
 }
 
 // runFixture runs one analyzer over one fixture and returns the

@@ -36,6 +36,10 @@ type Package struct {
 	// TypeErrors collects soft type-checking failures (the analysis
 	// still runs syntactically when present).
 	TypeErrors []error
+
+	// modPath is the module path the package was loaded under (cache
+	// keys need it to resolve module-internal imports without types).
+	modPath string
 }
 
 // LoadModule parses and type-checks every non-test package under the
@@ -44,6 +48,19 @@ type Package struct {
 // dependencies are type-checked from GOROOT source, so the loader needs
 // no toolchain invocation and no third-party dependency.
 func LoadModule(root string) ([]*Package, error) {
+	pkgs, err := ParseModule(root)
+	if err != nil {
+		return nil, err
+	}
+	TypeCheck(pkgs)
+	return pkgs, nil
+}
+
+// ParseModule is the parse-only first stage of LoadModule: it discovers,
+// parses, and topologically orders the module's packages without type
+// checking them. The cache's warm path stops here; TypeCheck completes
+// the load when analyzers actually need to run.
+func ParseModule(root string) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
@@ -79,6 +96,7 @@ func LoadModule(root string) ([]*Package, error) {
 		if rel != "." {
 			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
 		}
+		pkg.modPath = modPath
 		byPath[pkg.Path] = pkg
 		return nil
 	})
@@ -86,12 +104,20 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	// Type-check in dependency order so module-internal imports resolve
-	// against already-checked packages.
-	order, err := topoSort(byPath, modPath)
-	if err != nil {
-		return nil, err
+	// Order packages so every module-internal dependency precedes its
+	// importers; TypeCheck relies on this.
+	return topoSort(byPath, modPath)
+}
+
+// TypeCheck type-checks already-parsed packages in their dependency
+// order, resolving module-internal imports against the in-progress load
+// and everything else from GOROOT source.
+func TypeCheck(order []*Package) {
+	if len(order) == 0 {
+		return
 	}
+	fset := order[0].Fset
+	modPath := order[0].modPath
 	checked := map[string]*types.Package{}
 	imp := &moduleImporter{
 		stdlib:  importer.ForCompiler(fset, "source", nil),
@@ -116,7 +142,6 @@ func LoadModule(root string) ([]*Package, error) {
 			checked[pkg.Path] = tpkg
 		}
 	}
-	return order, nil
 }
 
 // parseDir parses the non-test .go files of one directory, or returns

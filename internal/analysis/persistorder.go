@@ -1,0 +1,59 @@
+package analysis
+
+import "strings"
+
+// PersistOrder verifies the store→Fence→commit protocol every
+// crash-consistent path in this reproduction hand-rolls: a persistent
+// store that flows into a commit point (a CommitTail write, a journal
+// commit, or a superblock update) must be covered by a Device.Fence on
+// every path first. Otherwise a crash between commit and store leaves
+// committed metadata pointing at data that never became durable — the
+// exact failure mode the orderless write design must exclude (PAPER.md
+// §4). The check is interprocedural: a callee that commits before its
+// first fence is a violation at any call site with pending stores.
+//
+// internal/pmem is exempt: it implements the device, so its internal
+// stores are the primitives themselves, not protocol uses.
+var PersistOrder = &Analyzer{
+	Name: "persistorder",
+	Doc:  "persistent stores must be fenced before any commit-point write (store -> Fence -> commit)",
+	Run:  runPersistOrder,
+}
+
+// deviceImplPkg reports whether pkg is the device implementation layer.
+func deviceImplPkg(pkg *Package) bool {
+	return strings.HasSuffix(pkg.Path, "internal/pmem")
+}
+
+func runPersistOrder(pass *Pass) {
+	if pass.Mod == nil || deviceImplPkg(pass.Pkg) {
+		return
+	}
+	report := func(ps *PersistSummary) {
+		for _, u := range ps.Unfenced {
+			first := u.Stores[0]
+			fp := pass.Pkg.Fset.Position(first.Pos)
+			pass.Reportf(u.Commit.Pos,
+				"commit-point store %s executes with %d unfenced persistent store(s) (first: %s at %s:%d); a crash here commits metadata before the data is durable — insert Device.Fence before committing",
+				u.Commit.Desc, len(u.Stores), first.Desc, shortFile(fp.Filename), fp.Line)
+		}
+	}
+	for _, n := range pass.Mod.NodesOf(pass.Pkg) {
+		if ps := pass.Mod.PersistSummaryFor(n.Obj); ps != nil {
+			report(ps)
+		}
+	}
+	for _, ps := range pass.Mod.PersistLitsOf(pass.Pkg) {
+		report(ps)
+	}
+}
+
+// shortFile trims a position filename to its last two path elements so
+// messages stay readable.
+func shortFile(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) <= 2 {
+		return name
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// RecoveryPurity checks that recovery and crash-replay code — the files
+// named recover.go and crash.go — reads only state that survives a
+// crash: device pages, PersistRecords, and the persistent-mirroring
+// fields. DRAM-only state is gone at recovery time:
+//
+//   - Scheduler state (Inode.Pending, Inode.Gate, Inode.Mu) never
+//     survives; any read is a bug regardless of context.
+//   - Device arbitration/temporal state (flows, pending, scratch
+//     buffers, CPU counters) is rebuilt by the simulator, not recovery.
+//   - Rebuildable DRAM indexes (Inode.index, Inode.dirents) may be read
+//     only if the recovery code itself rebuilds them first — some
+//     recovery-file function must assign the field. Reading an index
+//     that recovery never reconstructs means trusting pre-crash DRAM.
+//
+// The scope is file-based (basename recover.go or crash.go), matching
+// how the tree isolates its crash-replay paths; helpers in other files
+// are covered by the general protocol analyzers instead.
+var RecoveryPurity = &Analyzer{
+	Name: "recoverypurity",
+	Doc:  "recovery/crash-replay code may read only state that survives a crash",
+	Run:  runRecoveryPurity,
+}
+
+// recoveryBannedFields maps receiver type name -> field -> true for
+// fields that never survive a crash.
+var recoveryBannedFields = map[string]map[string]bool{
+	"Inode": {"Pending": true, "Gate": true, "Mu": true},
+	"Device": {
+		"flows": true, "pending": true, "lastAdv": true,
+		"cpuR": true, "cpuW": true, "groups": true,
+		"scrLim": true, "scrW": true, "scrAl": true, "scrSat": true, "scrFlows": true,
+	},
+}
+
+// recoveryRebuildableFields are DRAM indexes recovery may reconstruct
+// from device state and then use.
+var recoveryRebuildableFields = map[string]map[string]bool{
+	"Inode": {"index": true, "dirents": true},
+}
+
+func isRecoveryFile(name string) bool {
+	base := filepath.Base(name)
+	return base == "recover.go" || base == "crash.go"
+}
+
+func runRecoveryPurity(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	var files []*ast.File
+	for _, f := range pass.Pkg.Files {
+		if isRecoveryFile(pass.Pkg.Fset.Position(f.Pos()).Filename) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+
+	recvTypeName := func(sel *ast.SelectorExpr) string {
+		tv, ok := info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return ""
+		}
+		for _, name := range []string{"Inode", "Device"} {
+			if namedTypeIs(tv.Type, name) {
+				return name
+			}
+		}
+		return ""
+	}
+
+	// Pass 1 over all recovery files: which rebuildable fields does the
+	// recovery code reconstruct (direct field assignment), and which
+	// selector expressions are those assignment targets?
+	rebuilt := map[string]bool{} // "Inode.index"
+	assignTargets := map[*ast.SelectorExpr]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				assignTargets[sel] = true
+				tn := recvTypeName(sel)
+				if tn != "" && recoveryRebuildableFields[tn][sel.Sel.Name] {
+					rebuilt[tn+"."+sel.Sel.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other selector use is a read.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || assignTargets[sel] {
+				return true
+			}
+			tn := recvTypeName(sel)
+			if tn == "" {
+				return true
+			}
+			field := sel.Sel.Name
+			switch {
+			case recoveryBannedFields[tn][field]:
+				pass.Reportf(sel.Sel.Pos(),
+					"recovery code reads DRAM-only field %s.%s, which does not survive a crash; recovery may use only device state and PersistRecords", tn, field)
+			case recoveryRebuildableFields[tn][field] && !rebuilt[tn+"."+field]:
+				pass.Reportf(sel.Sel.Pos(),
+					"recovery code reads %s.%s but never rebuilds it; the DRAM index is gone after a crash — reconstruct it from device state before use", tn, field)
+			}
+			return true
+		})
+	}
+}

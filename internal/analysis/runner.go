@@ -1,0 +1,153 @@
+package analysis
+
+import "sync"
+
+// RunOptions configures the production runner: per-package parallel
+// analysis and the content-hash fact cache. The zero value reproduces
+// RunAnalyzers exactly (sequential, uncached).
+type RunOptions struct {
+	// Workers bounds concurrent package analyses; <=1 runs sequentially.
+	// Output is byte-identical for any worker count: findings are
+	// collected per package and globally sorted by position.
+	Workers int
+	// Cache, when non-nil, keys each package's post-suppression findings
+	// by a content hash of its interprocedural closure; hits skip the
+	// analyzers entirely.
+	Cache *Cache
+	// EnsureTypes, when non-nil, is invoked once before any analyzer
+	// runs, but only if at least one package missed the cache — the
+	// all-hit warm path never pays for type checking.
+	EnsureTypes func()
+}
+
+// RunResult carries the findings plus the runner telemetry BENCH_vet.json
+// reports.
+type RunResult struct {
+	Diags       []Diagnostic
+	Packages    int
+	CacheHits   int
+	CacheMisses int
+}
+
+// RunAnalyzersOpts is the full-featured runner. Semantics match
+// RunAnalyzers: every analyzer over every package, //easyio:allow
+// filtering, staleallow judged over the whole run, findings sorted by
+// position. Suppression filtering stays per-package (allow comments are
+// file-scoped), which is what makes cached replay sound: each cache
+// entry stores the surviving findings plus the (file, line, analyzer)
+// triples its suppressions consumed, so staleallow sees identical usage
+// whether a package was analyzed or replayed.
+func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *RunResult {
+	res := &RunResult{Packages: len(pkgs)}
+	ranStale := false
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if a == StaleAllow {
+			// Whole-run analyzer: judged after filtering, below.
+			ranStale = true
+			continue
+		}
+		active = append(active, a)
+	}
+	sup := buildSuppressions(pkgs)
+
+	keys := map[*Package]string{}
+	cached := map[*Package][]Diagnostic{}
+	var missed []*Package
+	if opt.Cache != nil {
+		keys = cacheKeys(pkgs, analyzers)
+		for _, pkg := range pkgs {
+			ent, ok := opt.Cache.get(keys[pkg])
+			if !ok {
+				missed = append(missed, pkg)
+				continue
+			}
+			cached[pkg] = ent.Findings
+			for _, u := range ent.Used {
+				sup.allows(u.File, u.Line, u.Analyzer)
+			}
+			res.CacheHits++
+		}
+	} else {
+		missed = pkgs
+	}
+	res.CacheMisses = len(missed)
+
+	fresh := map[*Package][]Diagnostic{}
+	if len(missed) > 0 {
+		if opt.EnsureTypes != nil {
+			opt.EnsureTypes()
+		}
+		typeClean := true
+		for _, pkg := range pkgs {
+			if len(pkg.TypeErrors) > 0 {
+				typeClean = false
+			}
+		}
+		mod := BuildModule(pkgs)
+		raw := make([][]Diagnostic, len(missed))
+		workers := opt.Workers
+		if workers > len(missed) {
+			workers = len(missed)
+		}
+		if workers <= 1 {
+			for i, pkg := range missed {
+				raw[i] = analyzePkg(pkg, active, mod)
+			}
+		} else {
+			// The analyzers are pure functions over the immutable typed
+			// ASTs and the precomputed ModuleInfo; each job writes only
+			// its own raw[i] slot and joins before results are read.
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for k := 0; k < workers; k++ {
+				wg.Add(1)
+				go func() { //easyio:allow nakedgo (host-side analysis worker pool; no virtual clock exists here)
+					defer wg.Done()
+					for i := range jobs {
+						raw[i] = analyzePkg(missed[i], active, mod)
+					}
+				}()
+			}
+			for i := range missed {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		}
+		for i, pkg := range missed {
+			kept, used := sup.filterPkg(raw[i])
+			fresh[pkg] = kept
+			// Only a type-clean run produces trustworthy findings worth
+			// replaying; a broken tree is re-analyzed every time.
+			if opt.Cache != nil && typeClean && keys[pkg] != "" {
+				opt.Cache.put(keys[pkg], cacheEntry{Findings: kept, Used: used})
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if d, ok := cached[pkg]; ok {
+			diags = append(diags, d...)
+		} else {
+			diags = append(diags, fresh[pkg]...)
+		}
+	}
+	if ranStale {
+		diags = append(diags, sup.staleFindings(analyzers)...)
+	}
+	sortDiags(diags)
+	res.Diags = diags
+	return res
+}
+
+// analyzePkg runs the non-staleallow analyzers over one package into a
+// private diagnostics slice (pre-suppression).
+func analyzePkg(pkg *Package, analyzers []*Analyzer, mod *ModuleInfo) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
+	}
+	return diags
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import "testing"
+
+// simFixture is the module-internal simulation package host code may not
+// steer with wall-clock values.
+const simFixture = `package sim
+type Time int64
+type Engine struct {
+	T Time
+	N int64
+}
+func (e *Engine) Step(d Time)   {}
+func (e *Engine) Tune(v int64)  {}
+func Configure(v int64)         {}
+`
+
+// hostTaintCase runs simtime over a two-package fixture module: the sim
+// package above plus one host (cmd/) package.
+func runSimtimeHost(t *testing.T, hostSrc string) []Diagnostic {
+	t.Helper()
+	pkgs := fixtureModule(t, "example.com/m", []fixtureSrc{
+		{Path: "example.com/m/internal/sim", Src: simFixture},
+		{Path: "example.com/m/cmd/bench", Src: hostSrc},
+	})
+	return RunAnalyzers(pkgs, []*Analyzer{Simtime})
+}
+
+func TestSimtimeHostTaint(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"telemetry staying host-side is clean", `package main
+import "time"
+type report struct{ WallMS float64 }
+func main() {
+	t0 := time.Now()
+	work()
+	el := time.Since(t0)
+	r := report{WallMS: float64(el.Microseconds()) / 1000}
+	_ = r
+}
+func work() {}
+`, 0},
+		{"wall-clock value in a condition flagged", `package main
+import "time"
+func main() {
+	t0 := time.Now()
+	if time.Since(t0) > time.Second {
+		panic("slow")
+	}
+}
+`, 1},
+		{"wall-clock value passed into simulation code flagged", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	sim.Configure(time.Now().UnixNano())
+}
+`, 1},
+		{"wall-clock value through a method on a sim type flagged", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	var e sim.Engine
+	t0 := time.Now()
+	e.Tune(time.Since(t0).Nanoseconds())
+}
+`, 1},
+		{"conversion to a sim type flagged", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	d := sim.Time(time.Now().UnixNano())
+	_ = d
+}
+`, 1},
+		{"store into a sim struct field flagged", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	var e sim.Engine
+	e.N = time.Now().UnixNano()
+}
+`, 1},
+		{"composite literal of a sim type flagged", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	e := sim.Engine{N: time.Now().UnixNano()}
+	_ = e
+}
+`, 1},
+		{"taint propagates through locals and arithmetic", `package main
+import "time"
+func main() {
+	t0 := time.Now()
+	el := time.Since(t0)
+	budget := el.Nanoseconds() * 2
+	for budget > 0 {
+		budget--
+	}
+}
+`, 1},
+		{"time.Sleep stays categorically banned in host code", `package main
+import "time"
+func main() {
+	time.Sleep(time.Millisecond)
+}
+`, 1},
+		{"untainted sim calls are clean", `package main
+import (
+	"time"
+	"example.com/m/internal/sim"
+)
+func main() {
+	t0 := time.Now()
+	var e sim.Engine
+	e.Step(sim.Time(42))
+	_ = time.Since(t0).Seconds()
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantFindings(t, runSimtimeHost(t, tc.src), tc.want, "simtime")
+		})
+	}
+}
+
+// TestSimtimeSimPackagesStayCategorical pins the host carve-out to cmd/,
+// examples/ and internal/bench: a module-internal simulation package
+// keeps the unconditional ban even when the value goes nowhere.
+func TestSimtimeSimPackagesStayCategorical(t *testing.T) {
+	pkgs := fixtureModule(t, "example.com/m", []fixtureSrc{
+		{Path: "example.com/m/internal/core", Src: `package core
+import "time"
+func Telemetry() int64 { return time.Now().UnixNano() }
+`},
+	})
+	diags := RunAnalyzers(pkgs, []*Analyzer{Simtime})
+	wantFindings(t, diags, 1, "simtime")
+}

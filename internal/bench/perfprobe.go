@@ -69,9 +69,9 @@ func MeasureKernelPerf() KernelPerf {
 	}
 	e.After(1, fn)
 	a0 := mallocs()
-	t0 := time.Now() //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+	t0 := time.Now()
 	e.Run()
-	el := time.Since(t0) //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+	el := time.Since(t0)
 	a1 := mallocs()
 	kp.NsPerEvent = float64(el.Nanoseconds()) / events
 	kp.EventsPerSec = float64(events) / el.Seconds()
@@ -87,11 +87,11 @@ func MeasureKernelPerf() KernelPerf {
 	var sa0, sa1 uint64
 	e2.StartProc("probe", func(p *sim.Proc) {
 		sa0 = mallocs()
-		st := time.Now() //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+		st := time.Now()
 		for i := 0; i < switches; i++ {
 			p.Sleep(1)
 		}
-		sel = time.Since(st) //easyio:allow simtime (host-side kernel perf probe, not simulation logic)
+		sel = time.Since(st)
 		sa1 = mallocs()
 	})
 	e2.Run()

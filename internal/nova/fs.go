@@ -83,8 +83,9 @@ func Mkfs(dev *pmem.Device, opts Options) error {
 	if sb.dataOff+16*BlockSize > dev.Size() {
 		return ErrNoSpace
 	}
-	dev.WriteAt(SuperOff, sb.encode())
-	// Invalidate the journal and all inode slots.
+	// Invalidate the journal and all inode slots before publishing the
+	// superblock: if power fails mid-format, the magic must not be
+	// durable over a half-initialized table.
 	dev.WriteAt(JournalOff, make([]byte, 40))
 	empty := make([]byte, InodeSlotSize)
 	for i := int64(0); i < opts.NumInodes; i++ {
@@ -99,6 +100,10 @@ func Mkfs(dev *pmem.Device, opts Options) error {
 		logTail: sb.dataOff,
 	}
 	dev.WriteAt(InodeTableOff+RootIno*InodeSlotSize, root.encode())
+	dev.Fence()
+	// Only now that the formatted metadata is durable may the superblock
+	// (and its magic) commit the filesystem's existence.
+	dev.WriteAt(SuperOff, sb.encode())
 	dev.Fence()
 	return nil
 }

@@ -37,8 +37,22 @@ func (d *Device) DisableTracking() {
 // Tracking reports whether persistence tracking is active.
 func (d *Device) Tracking() bool { return d.tracking }
 
-// Records returns the tracked stores in program order.
-func (d *Device) Records() []PersistRecord { return d.records }
+// Records returns the tracked stores in program order. The result is a
+// deep copy: callers (crashmonkey mutates subsets while exploring crash
+// states) must not be able to corrupt the device's own record stream
+// through it.
+func (d *Device) Records() []PersistRecord {
+	if len(d.records) == 0 {
+		return nil
+	}
+	out := make([]PersistRecord, len(d.records))
+	for i, r := range d.records {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		out[i] = PersistRecord{Epoch: r.Epoch, Off: r.Off, Data: data}
+	}
+	return out
+}
 
 // Epoch returns the current fence epoch (number of fences so far).
 func (d *Device) Epoch() int { return d.epoch }

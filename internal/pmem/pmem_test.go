@@ -318,3 +318,33 @@ func TestDisableTracking(t *testing.T) {
 		t.Fatal("tracking not disabled")
 	}
 }
+
+func TestRecordsReturnsDeepCopy(t *testing.T) {
+	_, d := newDev()
+	d.EnableTracking()
+	d.WriteAt(0, []byte{1, 2, 3})
+	d.Fence()
+	d.WriteAt(64, []byte{4, 5})
+
+	recs := d.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Mutate everything the caller can reach: the slice, the structs,
+	// and the data payloads.
+	recs[0].Data[0] = 99
+	recs[1].Epoch = 42
+	recs[1].Off = 4096
+	recs = append(recs[:0], PersistRecord{})
+
+	fresh := d.Records()
+	if len(fresh) != 2 {
+		t.Fatalf("device record stream corrupted: %d records", len(fresh))
+	}
+	if fresh[0].Data[0] != 1 {
+		t.Fatalf("payload aliased: got %d, want 1", fresh[0].Data[0])
+	}
+	if fresh[1].Epoch != 1 || fresh[1].Off != 64 {
+		t.Fatalf("record aliased: %+v", fresh[1])
+	}
+}
