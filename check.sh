@@ -47,4 +47,11 @@ go build -o /tmp/easyio-bench-check ./cmd/easyio-bench
 diff /tmp/easyio-bench-seq.txt /tmp/easyio-bench-par.txt
 rm -f /tmp/easyio-bench-check /tmp/easyio-bench-seq.txt /tmp/easyio-bench-par.txt
 
+echo '== serving sweep smoke (-parallel 1 vs 4 byte-identity)'
+go build -o /tmp/easyio-serve-check ./cmd/easyio-serve
+/tmp/easyio-serve-check -quick -parallel 1 > /tmp/easyio-serve-p1.txt
+/tmp/easyio-serve-check -quick -parallel 4 > /tmp/easyio-serve-p4.txt
+diff /tmp/easyio-serve-p1.txt /tmp/easyio-serve-p4.txt
+rm -f /tmp/easyio-serve-check /tmp/easyio-serve-p1.txt /tmp/easyio-serve-p4.txt
+
 echo 'check.sh: all gates green'

@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+// These fixtures pin the vet story for the serving layer: an open-loop
+// load generator is exactly the kind of code that drifts toward
+// math/rand inter-arrivals or wall-clock arrival stamps, and either
+// would silently break seeded replay. The service package is simulation
+// code (not a /cmd/ or bench host package), so both analyzers apply
+// their strict mode: detrand bans the import outright and simtime
+// categorically bans wall-clock calls.
+
+const servicePath = "example.com/m/internal/service"
+
+// TestDetrandCatchesServiceGenerator proves a math/rand-based arrival
+// sampler in a service-style package is flagged at the import.
+func TestDetrandCatchesServiceGenerator(t *testing.T) {
+	src := `package service
+import "math/rand"
+type gen struct{ r *rand.Rand }
+func (g *gen) nextGapNS(rate float64) int64 {
+	return int64(g.r.ExpFloat64() / rate * 1e9)
+}
+`
+	wantFindings(t, runFixture(t, Detrand, servicePath, src), 1, "detrand")
+}
+
+// TestSimtimeCatchesWallClockArrivals proves wall-clock arrival stamping
+// and pacing in a service-style package are flagged call-by-call: one
+// finding for the time.Now stamp, one for time.Since latency accounting,
+// one for the time.Sleep pacing loop.
+func TestSimtimeCatchesWallClockArrivals(t *testing.T) {
+	src := `package service
+import "time"
+type req struct{ arrive time.Time }
+func arrival() req { return req{arrive: time.Now()} }
+func latency(r req) time.Duration { return time.Since(r.arrive) }
+func pace(gap time.Duration) { time.Sleep(gap) }
+`
+	wantFindings(t, runFixture(t, Simtime, servicePath, src), 3, "simtime")
+}
+
+// TestServiceShapedGeneratorClean proves the approved shape — gaps
+// sampled from an injected deterministic stream, timestamps carried as
+// plain integers — passes both analyzers with zero findings and zero
+// suppressions.
+func TestServiceShapedGeneratorClean(t *testing.T) {
+	src := `package service
+type stream interface{ Exp(mean float64) float64 }
+type gen struct {
+	g    stream
+	rate float64
+}
+func (g *gen) next(now int64) int64 {
+	gap := int64(g.g.Exp(1e9 / g.rate))
+	if gap < 1 {
+		gap = 1
+	}
+	return now + gap
+}
+`
+	wantFindings(t, runFixture(t, Detrand, servicePath, src), 0, "detrand")
+	wantFindings(t, runFixture(t, Simtime, servicePath, src), 0, "simtime")
+}

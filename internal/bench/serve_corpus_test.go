@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/service"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// The serving corpus extends the golden-digest scheme to the service
+// layer: one cell per admission policy crossed with each arrival
+// process, each folding the full per-tenant accounting (counters and
+// complete latency histograms) plus the engine clock and event sequence
+// into one digest. Any change to arrival sampling, admission decisions,
+// dispatch order or the filesystem's virtual timing surfaces as digest
+// churn here.
+//
+// Regenerate with:
+//
+//	go test ./internal/bench -run TestServeDigestCorpus -update-digests
+
+// serveCorpusEntry is one (policy, arrival) cell.
+type serveCorpusEntry struct {
+	Policy  service.PolicyKind
+	Arrival service.ArrivalKind
+}
+
+func serveCorpusEntries() []serveCorpusEntry {
+	var out []serveCorpusEntry
+	for _, pol := range []service.PolicyKind{
+		service.PolicyNone, service.PolicyQueueCap, service.PolicyEWMA, service.PolicyPriority,
+	} {
+		for _, arr := range []service.ArrivalKind{
+			service.ArrivalPoisson, service.ArrivalBurst, service.ArrivalDiurnal,
+		} {
+			out = append(out, serveCorpusEntry{pol, arr})
+		}
+	}
+	return out
+}
+
+// serveCorpusDigest runs one overloaded two-tenant serving cell: a
+// latency-critical Poisson tenant plus a bulk tenant driven by the
+// arrival process under test, governed by the policy under test.
+func serveCorpusDigest(t *testing.T, e serveCorpusEntry, seed uint64) uint64 {
+	t.Helper()
+	const cores = 2
+	inst, err := NewInstance(SysEasyIO, cores, InstanceOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	res, err := service.Run(inst.Eng, inst.RT, inst.CoreFS, service.Config{
+		Cores: cores,
+		Tenants: []service.TenantSpec{
+			{
+				Name:    "web",
+				Class:   core.ClassL,
+				SLO:     200 * sim.Microsecond,
+				Arrival: service.ArrivalSpec{Kind: service.ArrivalPoisson, Rate: 40_000},
+				Mix:     service.Mix{Name: "point-read", ReadSize: 4 << 10, Compute: sim.Microsecond},
+			},
+			{
+				Name:     "bulk",
+				Class:    core.ClassB,
+				Priority: 1,
+				Arrival:  service.ArrivalSpec{Kind: e.Arrival, Rate: 5_000},
+				Mix:      service.Mix{Name: "ingest", WriteSize: 1 << 20, WriteEvery: 1},
+			},
+		},
+		Policy:  service.PolicySpec{Kind: e.Policy, QueueCap: 8},
+		Warmup:  sim.Millisecond,
+		Measure: 4 * sim.Millisecond,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants[0].Completed == 0 {
+		t.Fatalf("%s/%s: zero completions; digest is vacuous", e.Policy, e.Arrival)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "res=%#016x;now=%d;seq=%d;", res.Digest(), int64(inst.Eng.Now()), int64(inst.Eng.Sequence()))
+	return h.Sum64()
+}
+
+func serveGoldenPath() string {
+	return fmt.Sprintf("testdata/serve_digests_%s.golden", runtime.GOARCH)
+}
+
+func serveCorpusKey(e serveCorpusEntry) string {
+	return fmt.Sprintf("serve/%s/%s/seed%d", e.Policy, e.Arrival, corpusSeed)
+}
+
+// TestServeDigestCorpus checks every serving cell against the committed
+// golden digests (regenerate with -update-digests).
+func TestServeDigestCorpus(t *testing.T) {
+	got := map[string]uint64{}
+	for _, e := range serveCorpusEntries() {
+		e := e
+		t.Run(fmt.Sprintf("%s-%s", e.Policy, e.Arrival), func(t *testing.T) {
+			got[serveCorpusKey(e)] = serveCorpusDigest(t, e, corpusSeed)
+		})
+	}
+
+	if *updateDigests {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# golden serving digests (seed %d, GOARCH %s)\n", corpusSeed, runtime.GOARCH)
+		fmt.Fprintf(&b, "# regenerate: go test ./internal/bench -run TestServeDigestCorpus -update-digests\n")
+		for _, e := range serveCorpusEntries() {
+			k := serveCorpusKey(e)
+			fmt.Fprintf(&b, "%s %#016x\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(serveGoldenPath(), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", serveGoldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(serveGoldenPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skipf("no serving golden corpus for GOARCH %s; generate one with -update-digests", runtime.GOARCH)
+		}
+		t.Fatal(err)
+	}
+	want := map[string]uint64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			t.Fatalf("malformed golden line %q: %v", line, err)
+		}
+		want[fields[0]] = v
+	}
+	for _, e := range serveCorpusEntries() {
+		k := serveCorpusKey(e)
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden corpus; regenerate with -update-digests", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: digest %#016x, golden %#016x — serving behaviour changed; if intended, regenerate with -update-digests", k, got[k], w)
+		}
+	}
+}
+
+// TestServeCorpusSeedSensitivity proves the serving digests discriminate:
+// each arrival process must produce seed-dependent digests.
+func TestServeCorpusSeedSensitivity(t *testing.T) {
+	for _, arr := range []service.ArrivalKind{service.ArrivalPoisson, service.ArrivalBurst, service.ArrivalDiurnal} {
+		arr := arr
+		t.Run(string(arr), func(t *testing.T) {
+			e := serveCorpusEntry{service.PolicyEWMA, arr}
+			a := serveCorpusDigest(t, e, corpusSeed)
+			b := serveCorpusDigest(t, e, corpusSeed+1)
+			if a == b {
+				t.Fatalf("%s: seeds %d and %d produced identical digest %#x", arr, corpusSeed, corpusSeed+1, a)
+			}
+		})
+	}
+}

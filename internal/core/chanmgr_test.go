@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/dma"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// TestManagerEpochBudgetAccounting pins the epochTick/scheduleBudgetCheck
+// cycle: with saturating B traffic and a budget smaller than one BSplit
+// piece per epoch, every epoch must suspend the B channel exactly once
+// mid-epoch (budget exhausted) and resume it exactly once at the next
+// tick — two CHANCMD actions per epoch, with the channel observably
+// resumed just after each boundary and suspended before the next.
+func TestManagerEpochBudgetAccounting(t *testing.T) {
+	h := newHarness(t, 1, Options{Manager: ManagerOptions{BLimit: 1e9}})
+	m := h.fs.Manager()
+	epoch := m.Options().Epoch
+	m.Start()
+	h.rt.Spawn(0, "gc", func(task *caladan.Task) {
+		f, _ := h.fs.Create(task, "/bulk")
+		for i := 0; i < 8; i++ {
+			h.fs.WriteAtClass(task, f, 0, make([]byte, 2<<20), ClassB)
+		}
+	})
+	bchan := m.BChannel().Chan
+	type probe struct {
+		at        sim.Time
+		suspended bool
+	}
+	var got []probe
+	for e := 1; e <= 8; e++ {
+		// Just after the tick: the new epoch's budget is fresh, so the
+		// channel must have been resumed.
+		at := sim.Time(sim.Duration(e)*epoch) + sim.Time(2*sim.Microsecond)
+		h.eng.At(at, func() { got = append(got, probe{at, bchan.Suspended()}) })
+		// Late in the epoch: one 64KB piece (≥ the 50KB/epoch budget) has
+		// completed, so the budget check must have suspended the channel.
+		late := sim.Time(sim.Duration(e)*epoch) + sim.Time(45*sim.Microsecond)
+		h.eng.At(late, func() { got = append(got, probe{late, bchan.Suspended()}) })
+	}
+	h.eng.RunUntil(sim.Time(10 * epoch))
+	for _, p := range got {
+		phase := sim.Duration(p.at) % epoch
+		if phase < 10*sim.Microsecond && p.suspended {
+			t.Errorf("t=%v: channel still suspended just after the epoch tick", p.at)
+		}
+		if phase > 40*sim.Microsecond && !p.suspended {
+			t.Errorf("t=%v: budget check never suspended the channel this epoch", p.at)
+		}
+	}
+	// Two actions (one suspend, one resume) per saturated epoch across
+	// the 10-epoch window, give or take the first and last partials.
+	if n := m.SuspendCount(); n < 14 || n > 22 {
+		t.Errorf("SuspendCount = %d over 10 saturated epochs, want ~2 per epoch", n)
+	}
+	m.Stop()
+	h.eng.Run()
+	h.eng.Shutdown()
+}
+
+// TestReadChanAdmissionDenial pins Listing 2 against directly loaded
+// channels: admission scans L channels in order and returns the first
+// with queue depth < 2; when every L channel is at depth >= 2 it denies,
+// and the denial clears as soon as one channel drains.
+func TestReadChanAdmissionDenial(t *testing.T) {
+	h := newHarness(t, 1, Options{})
+	m := h.fs.Manager()
+	lchans := m.LChannels()
+	if len(lchans) < 2 {
+		t.Fatalf("want >= 2 L channels, got %d", len(lchans))
+	}
+	if c, ok := m.ReadChanAdmission(); !ok || c.Chan != lchans[0].Chan {
+		t.Fatal("idle manager must admit on the first L channel")
+	}
+	// Load every L channel to depth 2 with bulk reads.
+	buf := make([]byte, 1<<20)
+	for _, c := range lchans {
+		for i := 0; i < 2; i++ {
+			if _, err := c.Chan.Submit(&dma.Desc{PMOff: 0, Size: len(buf), Buf: buf}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := c.Chan.QueueDepth(); d < 2 {
+			t.Fatalf("channel loaded to depth %d, want >= 2", d)
+		}
+	}
+	if _, ok := m.ReadChanAdmission(); ok {
+		t.Fatal("admission granted while every L channel is saturated")
+	}
+	// A latency-class read must still complete under denial (the caller
+	// falls back to the synchronous memcpy path).
+	done := false
+	h.rt.Spawn(0, "rd", func(task *caladan.Task) {
+		f, _ := h.fs.Create(task, "/f")
+		h.fs.WriteAt(task, f, 0, make([]byte, 64<<10))
+		if _, err := h.fs.ReadAtClass(task, f, 0, make([]byte, 32<<10), ClassL); err != nil {
+			t.Error(err)
+			return
+		}
+		done = true
+	})
+	h.eng.Run()
+	if !done {
+		t.Fatal("ClassL read did not complete under admission denial")
+	}
+	// The queued descriptors have drained; the scan order is pinned to
+	// the first channel again.
+	if c, ok := m.ReadChanAdmission(); !ok || c.Chan != lchans[0].Chan {
+		t.Fatal("admission must recover on the first L channel after drain")
+	}
+	h.eng.Shutdown()
+}
+
+// TestLAppWindow pins the Report/window contract LApp feeds the adaptive
+// loop with: windows average the reported latencies, reset on read, and
+// answer (0, false) when no operations ran.
+func TestLAppWindow(t *testing.T) {
+	l := &LApp{Target: 20 * sim.Microsecond}
+	if _, ok := l.window(); ok {
+		t.Fatal("empty window reported data")
+	}
+	l.Report(10 * sim.Microsecond)
+	l.Report(20 * sim.Microsecond)
+	l.Report(33 * sim.Microsecond)
+	if m, ok := l.window(); !ok || m != 21*sim.Microsecond {
+		t.Fatalf("window = %v,%v, want 21us,true", m, ok)
+	}
+	if _, ok := l.window(); ok {
+		t.Fatal("window did not reset after read")
+	}
+}
+
+// TestManagerAdaptiveBurstyWindows pins Listing 1 under bursty load:
+// epochs in which the L-app reported SLO-violating latencies lower the
+// B limit by exactly Delta, and silent epochs (no reports) leave it
+// untouched rather than drifting.
+func TestManagerAdaptiveBurstyWindows(t *testing.T) {
+	h := newHarness(t, 1, Options{Manager: ManagerOptions{Adaptive: true, BLimit: 4e9}})
+	m := h.fs.Manager()
+	epoch := m.Options().Epoch
+	delta := m.Options().Delta
+	lapp := m.RegisterLApp(20 * sim.Microsecond)
+	m.Start()
+	// Bursty reporting: the app only runs in even epochs, violating its
+	// SLO when it does.
+	const epochs = 20
+	for e := 0; e < epochs; e++ {
+		if e%2 != 0 {
+			continue
+		}
+		at := sim.Time(sim.Duration(e)*epoch) + sim.Time(10*sim.Microsecond)
+		h.eng.At(at, func() { lapp.Report(100 * sim.Microsecond) })
+	}
+	h.eng.RunUntil(sim.Time(sim.Duration(epochs)*epoch) + sim.Time(sim.Microsecond))
+	m.Stop()
+	hist := m.BLimitHist
+	if len(hist) < epochs {
+		t.Fatalf("BLimitHist has %d entries, want >= %d", len(hist), epochs)
+	}
+	prev := 4e9
+	for e := 0; e < epochs; e++ {
+		if e%2 == 0 {
+			if want := prev - delta; hist[e] != want {
+				t.Fatalf("epoch %d (violating): limit %.4g, want %.4g", e, hist[e], want)
+			}
+		} else if hist[e] != prev {
+			t.Fatalf("epoch %d (silent): limit drifted %.4g -> %.4g", e, prev, hist[e])
+		}
+		prev = hist[e]
+	}
+	h.eng.Run()
+	h.eng.Shutdown()
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// ArrivalKind selects a tenant's open-loop arrival process. All three
+// draw exclusively from the tenant's forked internal/rng stream, so a
+// seeded run replays the exact arrival sequence.
+type ArrivalKind string
+
+const (
+	// ArrivalPoisson is a homogeneous Poisson process at Rate req/s.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalBurst is an on/off-modulated Poisson process: all arrivals
+	// concentrate in the first Duty fraction of each Period, at rate
+	// Rate/Duty, so the long-run mean stays Rate but the instantaneous
+	// offered load spikes by 1/Duty (GC pauses, cron fan-in).
+	ArrivalBurst ArrivalKind = "burst"
+	// ArrivalDiurnal is a nonhomogeneous Poisson process whose rate
+	// follows 1 + Amplitude*sin(2*pi*t/Period) — a compressed day/night
+	// traffic curve, sampled by thinning.
+	ArrivalDiurnal ArrivalKind = "diurnal"
+)
+
+// ArrivalSpec parameterizes an arrival process.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// Rate is the long-run mean arrival rate in requests/second (> 0).
+	Rate float64
+	// Period is the modulation period for burst and diurnal processes.
+	// Default 2ms (a compressed cycle relative to ms-scale runs).
+	Period sim.Duration
+	// Duty is the burst process's on fraction in (0, 1]. Default 0.25.
+	Duty float64
+	// Amplitude is the diurnal modulation depth in [0, 1). Default 0.5.
+	Amplitude float64
+}
+
+func (a ArrivalSpec) withDefaults() ArrivalSpec {
+	if a.Kind == "" {
+		a.Kind = ArrivalPoisson
+	}
+	if a.Period == 0 {
+		a.Period = 2 * sim.Millisecond
+	}
+	if a.Duty == 0 {
+		a.Duty = 0.25
+	}
+	if a.Amplitude == 0 {
+		a.Amplitude = 0.5
+	}
+	return a
+}
+
+func (a ArrivalSpec) validate() error {
+	if a.Rate <= 0 {
+		return fmt.Errorf("service: arrival rate %v must be positive", a.Rate)
+	}
+	switch a.Kind {
+	case ArrivalPoisson:
+	case ArrivalBurst:
+		if a.Duty <= 0 || a.Duty > 1 {
+			return fmt.Errorf("service: burst duty %v outside (0, 1]", a.Duty)
+		}
+	case ArrivalDiurnal:
+		if a.Amplitude < 0 || a.Amplitude >= 1 {
+			return fmt.Errorf("service: diurnal amplitude %v outside [0, 1)", a.Amplitude)
+		}
+	default:
+		return fmt.Errorf("service: unknown arrival kind %q", a.Kind)
+	}
+	return nil
+}
+
+// next samples the gap from the arrival at now to the following arrival.
+// The result is always at least 1ns so arrival chains advance.
+func (a ArrivalSpec) next(g *rng.Rand, now sim.Time) sim.Duration {
+	var gap sim.Duration
+	switch a.Kind {
+	case ArrivalBurst:
+		gap = a.nextBurst(g, now)
+	case ArrivalDiurnal:
+		gap = a.nextDiurnal(g, now)
+	default:
+		gap = sim.Duration(g.Exp(1e9 / a.Rate))
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// nextBurst advances exponentially distributed "on-time" (at rate
+// Rate/Duty) across the on windows, skipping the off window of each
+// period. The on window is the first Duty fraction of every period.
+func (a ArrivalSpec) nextBurst(g *rng.Rand, now sim.Time) sim.Duration {
+	onLen := sim.Duration(float64(a.Period) * a.Duty)
+	if onLen < 1 {
+		onLen = 1
+	}
+	need := sim.Duration(g.Exp(1e9 / (a.Rate / a.Duty)))
+	t := now
+	for {
+		phase := sim.Duration(t % sim.Time(a.Period))
+		if phase >= onLen {
+			t += sim.Time(a.Period - phase) // jump to the next on window
+			continue
+		}
+		avail := onLen - phase
+		if need < avail {
+			return sim.Duration(t-now) + need
+		}
+		need -= avail
+		t += sim.Time(avail)
+	}
+}
+
+// nextDiurnal thins a Poisson process at the peak rate down to the
+// sinusoidal instantaneous rate.
+func (a ArrivalSpec) nextDiurnal(g *rng.Rand, now sim.Time) sim.Duration {
+	peak := a.Rate * (1 + a.Amplitude)
+	t := now
+	for {
+		t += sim.Time(g.Exp(1e9/peak)) + 1
+		frac := float64(t%sim.Time(a.Period)) / float64(a.Period)
+		lam := a.Rate * (1 + a.Amplitude*math.Sin(2*math.Pi*frac))
+		if g.Float64()*peak <= lam {
+			return sim.Duration(t - now)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package service
+
+// raceEnabled gates capacity-scale tests off under the race detector.
+const raceEnabled = false
