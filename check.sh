@@ -12,9 +12,9 @@ go vet ./...
 echo '== go run ./cmd/easyio-vet ./...'
 go run ./cmd/easyio-vet ./...
 
-echo '== analyzer registry completeness (>= 13 analyzers)'
+echo '== analyzer registry completeness (>= 16 analyzers)'
 n=$(go run ./cmd/easyio-vet -list | wc -l)
-test "$n" -ge 13 || { echo "only $n analyzers registered"; exit 1; }
+test "$n" -ge 16 || { echo "only $n analyzers registered"; exit 1; }
 
 echo '== easyio-vet cache smoke (warm rerun byte-identical, all hits)'
 go build -o /tmp/easyio-vet-check ./cmd/easyio-vet
@@ -26,10 +26,16 @@ grep -q '"cache_hits": 0' /tmp/easyio-vet-cold.json || { echo "cold run unexpect
 grep -q '"cache_misses": 0' /tmp/easyio-vet-warm.json || { echo "warm run missed the cache"; exit 1; }
 
 echo '== easyio-vet parallel determinism (-parallel 4 vs 1, uncached)'
-/tmp/easyio-vet-check -nocache -parallel 1 ./... > /tmp/easyio-vet-p1.txt
-/tmp/easyio-vet-check -nocache -parallel 4 ./... > /tmp/easyio-vet-p4.txt
+/tmp/easyio-vet-check -nocache -parallel 1 -partition /tmp/easyio-vet-part1.json ./... > /tmp/easyio-vet-p1.txt
+/tmp/easyio-vet-check -nocache -parallel 4 -partition /tmp/easyio-vet-part4.json ./... > /tmp/easyio-vet-p4.txt
 diff /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt
-rm -rf /tmp/easyio-vet-check /tmp/easyio-vet-cache-check /tmp/easyio-vet-cold.* /tmp/easyio-vet-warm.* /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt
+
+echo '== partition report (deterministic, matches committed, lock graph acyclic)'
+diff /tmp/easyio-vet-part1.json /tmp/easyio-vet-part4.json
+diff /tmp/easyio-vet-part1.json partition.json || { echo "partition.json is stale; regenerate with: go run ./cmd/easyio-vet -nocache -partition partition.json ./..."; exit 1; }
+grep -q '"acyclic": true' partition.json || { echo "lock-order graph is not acyclic"; exit 1; }
+grep -q '"unguarded_findings": 0' partition.json || { echo "unguarded cross-node shared-mutable state detected"; exit 1; }
+rm -rf /tmp/easyio-vet-check /tmp/easyio-vet-cache-check /tmp/easyio-vet-cold.* /tmp/easyio-vet-warm.* /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt /tmp/easyio-vet-part1.json /tmp/easyio-vet-part4.json
 
 echo '== go test ./...'
 go test ./...

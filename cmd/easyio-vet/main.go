@@ -8,6 +8,10 @@
 //	go run ./cmd/easyio-vet -only lockbalance ./...
 //	go run ./cmd/easyio-vet -json ./...    # findings as a JSON array
 //	go run ./cmd/easyio-vet -parallel 8 -sarif vet.sarif ./...
+//	go run ./cmd/easyio-vet -partition partition.json ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load/type-check or I/O failure —
+// CI can tell a regression from a broken build.
 //
 // Full-module runs are incremental by default: per-package findings are
 // cached under .easyio-vet-cache/ keyed by a content hash of each
@@ -66,7 +70,9 @@ func main() {
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	benchPath := flag.String("benchjson", "", "write runner telemetry (BENCH_vet.json shape) to this file")
 	cacheDir := flag.String("cache-dir", "", "fact cache directory (default <module root>/.easyio-vet-cache)")
+	cacheMax := flag.Int("cache-maxentries", 0, "cache entry cap with LRU eviction (0 = framework default, negative = unlimited)")
 	noCache := flag.Bool("nocache", false, "disable the fact cache for this run")
+	partitionPath := flag.String("partition", "", "write the concurrency partition report (confinement classes + lock-order graph) as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -106,6 +112,9 @@ func main() {
 			dir = filepath.Join(root, ".easyio-vet-cache")
 		}
 		cache = analysis.OpenCache(dir)
+		if *cacheMax != 0 {
+			cache.WithMaxEntries(*cacheMax)
+		}
 	}
 
 	// Fail loudly on type errors: analyzers degrade silently without
@@ -155,6 +164,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *partitionPath != "" {
+		mod := res.Mod
+		if mod == nil {
+			// A fully warm run never type-checked; the report needs the
+			// typed module view, so build it now (cache entries are only
+			// written by type-clean runs, so this cannot fail loudly).
+			analysis.TypeCheck(all)
+			mod = analysis.BuildModule(pkgs)
+		}
+		if err := analysis.WritePartition(*partitionPath, analysis.BuildPartition(mod, root)); err != nil {
+			fatal(err)
+		}
+	}
 	if *benchPath != "" {
 		rep := benchReport{
 			WallMS:      wallMS,
@@ -172,8 +194,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Exit codes let CI tell a regression from a broken build: findings
+	// exit 1, load/type-check failures exit 2 (fatal() below shares 2).
 	if len(diags) > 0 || typeErrs > 0 {
 		fmt.Fprintf(os.Stderr, "easyio-vet: %d finding(s), %d type error(s)\n", len(diags), typeErrs)
+		if typeErrs > 0 {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -319,7 +346,9 @@ func findModuleRoot() (string, error) {
 	}
 }
 
+// fatal reports a non-findings failure (module load, bad flags, output
+// I/O) with exit code 2, so `exit 1` always means "findings".
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "easyio-vet:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

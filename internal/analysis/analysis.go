@@ -25,11 +25,24 @@
 //	persistorder  - stores reaching a commit point are fenced on all paths
 //	fencehygiene  - no redundant fences, no stores leaked unfenced at roots
 //	recoverypurity- recovery code reads only crash-surviving state
+//	lockorder     - no lock-acquisition cycles, no unordered same-class
+//	              lock nesting (module-wide lock-class graph, Tarjan)
+//	confinement   - every mutable type reachable from sim/core/service is
+//	              node-confined, a router message, immutable-after-init,
+//	              or shared-guarded — never unguarded shared state
+//	atomichygiene - no mixed atomic/plain field access, no plain access
+//	              to mutex-guarded fields outside the lock
 //
-// The last three ride on the persistence dataflow engine (dataflow.go):
-// a path-sensitive walker abstracts each function into a persistence
-// automaton (pending-store set, fence state, commit points) propagated
-// bottom-up over the call-graph SCCs.
+// persistorder/fencehygiene/recoverypurity ride on the persistence
+// dataflow engine (dataflow.go): a path-sensitive walker abstracts each
+// function into a persistence automaton (pending-store set, fence state,
+// commit points) propagated bottom-up over the call-graph SCCs.
+//
+// lockorder/confinement/atomichygiene are *global* analyzers
+// (Analyzer.Global): their findings are a property of the whole module,
+// precomputed once in BuildModule and replayed per package; the runner
+// caches them in a single module-wide entry (see runner.go) and they
+// feed the committable partition report (partition.go).
 //
 // cmd/easyio-vet is the CLI driver; it exits nonzero on findings, so CI
 // gates every PR on these invariants. runner.go adds per-package
@@ -63,6 +76,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// Global marks a module-wide analyzer: its findings depend on every
+	// package, so the runner caches them in one module-keyed entry
+	// instead of per-package closure-keyed entries.
+	Global bool
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -90,6 +107,7 @@ func All() []*Analyzer {
 		Simtime, Detrand, NakedGo, MapOrder, LockBalance, ErrcheckPmem,
 		CBGate, ChargeBalance, ParkContext, StaleAllow,
 		PersistOrder, FenceHygiene, RecoveryPurity,
+		LockOrder, Confinement, AtomicHygiene,
 	}
 }
 

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	t.Run("mixed atomic and plain access", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Counter) Read() int64 { return c.n }
+`)
+		wantFindings(t, diags, 1, "atomichygiene")
+		if !strings.Contains(diags[0].Message, "sync/atomic elsewhere") {
+			t.Fatalf("want a mixed-access report, got %q", diags[0].Message)
+		}
+	})
+
+	t.Run("consistently atomic is quiet", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Counter) Read() int64 { return atomic.LoadInt64(&c.n) }
+`)
+		wantFindings(t, diags, 0, "atomichygiene")
+	})
+
+	t.Run("plain read of a mutex-guarded field", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Get() int { return s.n }
+`)
+		wantFindings(t, diags, 1, "atomichygiene")
+		if !strings.Contains(diags[0].Message, "plain read outside the lock") {
+			t.Fatalf("want a lock-region leak report, got %q", diags[0].Message)
+		}
+	})
+
+	t.Run("all access under the lock is quiet", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+`)
+		wantFindings(t, diags, 0, "atomichygiene")
+	})
+
+	t.Run("unguarded write races with the lock region", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Reset() { s.n = 0 }
+`)
+		wantFindings(t, diags, 1, "atomichygiene")
+		if !strings.Contains(diags[0].Message, "unguarded write races") {
+			t.Fatalf("want an unguarded-write report, got %q", diags[0].Message)
+		}
+	})
+
+	t.Run("constructors are exempt", func(t *testing.T) {
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func NewStore() *Store {
+	s := &Store{}
+	s.n = 7
+	return s
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+`)
+		wantFindings(t, diags, 0, "atomichygiene")
+	})
+
+	t.Run("branch that skips the lock is not guarded", func(t *testing.T) {
+		// Must-locked intersection: one path locks, the other does not,
+		// so the write is judged unguarded.
+		diags := runFixture(t, AtomicHygiene, "", `package fixture
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) Set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Maybe(v int, fast bool) {
+	if !fast {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.n = v
+}
+`)
+		wantFindings(t, diags, 1, "atomichygiene")
+	})
+}

@@ -20,6 +20,14 @@ package analysis
 // Each entry also records the (file, line, analyzer) triples its
 // //easyio:allow comments suppressed, so a warm run replays suppression
 // usage and staleallow stays exact across cached packages.
+//
+// Global analyzers (Analyzer.Global) store their module-wide findings in
+// one additional entry keyed by the content of *every* package — their
+// findings can depend on packages outside any per-package closure (a
+// goroutine capture anywhere reclassifies a type; a lock edge anywhere
+// can close a cycle), so the whole-module key is the narrowest sound
+// one. A warm unchanged run still hits everything and never type-checks;
+// any edit re-runs the global trio plus the edited closures.
 
 import (
 	"crypto/sha256"
@@ -31,19 +39,37 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // cacheVersion invalidates every entry when the analyzer semantics or
-// the entry format change.
-const cacheVersion = "easyio-vet-v1"
+// the entry format change. v2: global-analyzer entries (runner.go) and
+// LRU eviction.
+const cacheVersion = "easyio-vet-v2"
 
-// Cache is a directory of per-key JSON entries.
+// defaultCacheEntries bounds the cache directory: edits churn closure
+// hashes, so without a cap the directory grows by a few entries per
+// distinct tree state forever. ~500 entries is months of active editing
+// yet only a few MB.
+const defaultCacheEntries = 512
+
+// Cache is a directory of per-key JSON entries with LRU eviction: get
+// refreshes an entry's mtime, put prunes the oldest entries beyond
+// maxEntries.
 type Cache struct {
-	dir string
+	dir        string
+	maxEntries int
 }
 
-// OpenCache returns a cache rooted at dir (created lazily on first put).
-func OpenCache(dir string) *Cache { return &Cache{dir: dir} }
+// OpenCache returns a cache rooted at dir (created lazily on first put)
+// with the default entry cap.
+func OpenCache(dir string) *Cache { return &Cache{dir: dir, maxEntries: defaultCacheEntries} }
+
+// WithMaxEntries overrides the entry cap; n <= 0 disables eviction.
+func (c *Cache) WithMaxEntries(n int) *Cache {
+	c.maxEntries = n
+	return c
+}
 
 // UsedAllow records one suppression consumption so staleallow can be
 // judged without re-running the analyzers of a cached package.
@@ -71,6 +97,9 @@ func (c *Cache) get(key string) (cacheEntry, bool) {
 	if json.Unmarshal(b, &ent) != nil || ent.Version != cacheVersion {
 		return cacheEntry{}, false
 	}
+	// LRU touch: a hit is a use; eviction order follows mtime.
+	now := time.Now()
+	_ = os.Chtimes(filepath.Join(c.dir, key+".json"), now, now)
 	return ent, true
 }
 
@@ -92,12 +121,56 @@ func (c *Cache) put(key string, ent cacheEntry) {
 		return
 	}
 	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+	c.prune()
 }
 
-// cacheKeys computes the closure-hash key per package. A package whose
-// sources cannot be re-read (synthetic test fixtures) or whose closure
-// contains such a package gets "" — uncacheable, always analyzed fresh.
-func cacheKeys(pkgs []*Package, analyzers []*Analyzer) map[*Package]string {
+// prune removes the least-recently-used entries beyond maxEntries
+// (oldest mtime first, name as the deterministic tiebreaker).
+func (c *Cache) prune() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		name string
+		mt   time.Time
+	}
+	var list []entry
+	for _, e := range dirents {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		list = append(list, entry{e.Name(), fi.ModTime()})
+	}
+	if len(list) <= c.maxEntries {
+		return
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if !list[i].mt.Equal(list[j].mt) {
+			return list[i].mt.Before(list[j].mt)
+		}
+		return list[i].name < list[j].name
+	})
+	for _, e := range list[:len(list)-c.maxEntries] {
+		_ = os.Remove(filepath.Join(c.dir, e.name))
+	}
+}
+
+// cacheKeys computes the closure-hash key per package, plus the single
+// module-wide key the global analyzers' entry uses (keyed by every
+// package's content: a global finding can change when any package
+// changes, so nothing narrower is sound). A package whose sources cannot
+// be re-read (synthetic test fixtures) or whose closure contains such a
+// package gets "" — uncacheable, always analyzed fresh; any unhashable
+// package also voids the global key.
+func cacheKeys(pkgs []*Package, analyzers []*Analyzer) (map[*Package]string, string) {
 	content := map[string]string{} // pkg path -> content hash ("" = unhashable)
 	byPath := map[string]*Package{}
 	for _, pkg := range pkgs {
@@ -161,6 +234,24 @@ func cacheKeys(pkgs []*Package, analyzers []*Analyzer) map[*Package]string {
 	prelude := cacheVersion + "\x00" + strings.Join(names, ",") + "\x00" +
 		strings.Join(paths, ",") + "\x00" + ifaceNamesHash(pkgs) + "\x00"
 
+	globalKey := ""
+	{
+		gh := sha256.New()
+		io.WriteString(gh, prelude)
+		io.WriteString(gh, "module-global\x00")
+		ok := true
+		for _, p := range paths {
+			if content[p] == "" {
+				ok = false
+				break
+			}
+			io.WriteString(gh, p+"="+content[p]+"\x00")
+		}
+		if ok {
+			globalKey = hex.EncodeToString(gh.Sum(nil))
+		}
+	}
+
 	keys := make(map[*Package]string, len(pkgs))
 	for _, pkg := range pkgs {
 		closure := map[string]bool{}
@@ -197,7 +288,7 @@ func cacheKeys(pkgs []*Package, analyzers []*Analyzer) map[*Package]string {
 		}
 		keys[pkg] = hex.EncodeToString(h.Sum(nil))
 	}
-	return keys
+	return keys, globalKey
 }
 
 // ifaceNamesHash hashes the module-wide interface-method-name set,

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func age(t *testing.T, dir, name string, d time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-d)
+	if err := os.Chtimes(filepath.Join(dir, name), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := OpenCache(dir).WithMaxEntries(2)
+	ent := cacheEntry{Findings: []Diagnostic{}}
+
+	c.put("k1", ent)
+	c.put("k2", ent)
+	age(t, dir, "k1.json", 2*time.Hour)
+	age(t, dir, "k2.json", time.Hour)
+
+	// The third put exceeds the cap: the oldest entry (k1) is evicted.
+	c.put("k3", ent)
+	got := cacheFiles(t, dir)
+	want := []string{"k2.json", "k3.json"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after put k3: files %v, want %v", got, want)
+	}
+
+	// A hit refreshes recency: touch k2, then overflow again — the
+	// untouched k3 goes, the freshly used k2 survives.
+	age(t, dir, "k2.json", 2*time.Hour)
+	age(t, dir, "k3.json", time.Hour)
+	if _, ok := c.get("k2"); !ok {
+		t.Fatal("k2 should still be readable")
+	}
+	c.put("k4", ent)
+	got = cacheFiles(t, dir)
+	want = []string{"k2.json", "k4.json"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after get k2 + put k4: files %v, want %v", got, want)
+	}
+}
+
+func TestCacheUnlimitedWhenCapDisabled(t *testing.T) {
+	dir := t.TempDir()
+	c := OpenCache(dir).WithMaxEntries(-1)
+	ent := cacheEntry{Findings: []Diagnostic{}}
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		c.put(k, ent)
+	}
+	if got := cacheFiles(t, dir); len(got) != 5 {
+		t.Fatalf("cap disabled yet entries were pruned: %v", got)
+	}
+}
+
+// TestCacheDefaultCapBoundsRealRun exercises the cap through the runner
+// over a real on-disk module: with maxEntries 1, the per-package and
+// module-global entries cannot all survive, yet a rerun still produces
+// identical findings (evicted entries just re-analyze).
+func TestCacheDefaultCapBoundsRealRun(t *testing.T) {
+	root := writeTempModule(t)
+	dir := filepath.Join(root, ".cache")
+	cache := OpenCache(dir).WithMaxEntries(1)
+
+	first := RunAnalyzersOpts(loadTemp(t, root), All(), RunOptions{Cache: cache})
+	if got := cacheFiles(t, dir); len(got) != 1 {
+		t.Fatalf("cap 1: %d entries on disk (%v)", len(got), got)
+	}
+	second := RunAnalyzersOpts(loadTemp(t, root), All(), RunOptions{Cache: cache})
+	if len(first.Diags) != len(second.Diags) {
+		t.Fatalf("findings changed under eviction: %v vs %v", first.Diags, second.Diags)
+	}
+	if OpenCache(dir).maxEntries != defaultCacheEntries {
+		t.Fatalf("OpenCache default cap = %d, want %d", OpenCache(dir).maxEntries, defaultCacheEntries)
+	}
+}

@@ -49,6 +49,13 @@ type ModuleInfo struct {
 	Persist     map[*types.Func]*PersistSummary
 	PersistLits []*PersistSummary
 
+	// locks/conf/atomicH are the module-wide concurrency-soundness views
+	// the global analyzers (lockorder, confinement, atomichygiene) replay
+	// and BuildPartition renders.
+	locks   *moduleLocks
+	conf    *confinementInfo
+	atomicH *atomicInfo
+
 	pkgs      []*Package
 	pkgPaths  map[string]bool
 	fsMethods map[string]bool
@@ -133,6 +140,9 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	mod.SCCs = tarjanSCC(mod.Nodes)
 	computeSummaries(mod)
 	computePersistSummaries(mod)
+	computeLockOrder(mod)
+	computeConfinement(mod)
+	computeAtomicHygiene(mod)
 	// Precompute the lazily memoized views so Pass.Mod is read-only
 	// during (possibly parallel) analyzer execution.
 	mod.fsMethodNames()

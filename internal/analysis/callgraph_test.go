@@ -1,0 +1,67 @@
+package analysis
+
+import "testing"
+
+// TestCallGraphDynamicDispatch pins exactly which call shapes the call
+// graph resolves: the interprocedural analyses (and the confinement
+// escape scan built on the same resolution) see static calls only, so
+// each hole here is a documented soundness boundary, not an accident.
+func TestCallGraphDynamicDispatch(t *testing.T) {
+	pkg := fixturePkg(t, "", `package fixture
+
+type Iface interface{ M() }
+
+type Impl struct{ n int }
+
+func (i *Impl) M() { i.n++ }
+
+func helper() {}
+
+func direct(i *Impl)       { i.M() }     // static: resolves to (*Impl).M
+func plain()               { helper() }  // static: resolves to helper
+func dynamic(i Iface)      { i.M() }     // interface dispatch: unresolved
+func value(f func())       { f() }       // function value: unresolved
+func methodValue(i *Impl)  { f := i.M; f() } // method value: unresolved
+func methodExpr(i *Impl)   { (*Impl).M(i) }  // method expression: unresolved
+`)
+	mod := BuildModule([]*Package{pkg})
+
+	calleeNames := func(fn string) []string {
+		t.Helper()
+		for _, n := range mod.Nodes {
+			if n.Decl.Name.Name == fn {
+				var out []string
+				for _, c := range n.Callees {
+					out = append(out, c.Decl.Name.Name)
+				}
+				return out
+			}
+		}
+		t.Fatalf("function %s not in module", fn)
+		return nil
+	}
+
+	for _, tc := range []struct {
+		fn   string
+		want []string
+	}{
+		{"direct", []string{"M"}},
+		{"plain", []string{"helper"}},
+		{"dynamic", nil},
+		{"value", nil},
+		{"methodValue", nil},
+		{"methodExpr", nil},
+	} {
+		got := calleeNames(tc.fn)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s resolves callees %v, want %v", tc.fn, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s resolves callees %v, want %v", tc.fn, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -12,21 +12,30 @@ type RunOptions struct {
 	Workers int
 	// Cache, when non-nil, keys each package's post-suppression findings
 	// by a content hash of its interprocedural closure; hits skip the
-	// analyzers entirely.
+	// analyzers entirely. Global analyzers (Analyzer.Global) get one
+	// additional module-wide entry keyed by every package's content.
 	Cache *Cache
 	// EnsureTypes, when non-nil, is invoked once before any analyzer
-	// runs, but only if at least one package missed the cache — the
-	// all-hit warm path never pays for type checking.
+	// runs, but only if at least one entry (package or module-wide)
+	// missed the cache — the all-hit warm path never pays for type
+	// checking.
 	EnsureTypes func()
 }
 
 // RunResult carries the findings plus the runner telemetry BENCH_vet.json
 // reports.
 type RunResult struct {
-	Diags       []Diagnostic
-	Packages    int
+	Diags    []Diagnostic
+	Packages int
+	// CacheHits/CacheMisses count per-package entries only; the single
+	// module-wide global entry is not a package and is excluded so the
+	// counters stay comparable across registry changes.
 	CacheHits   int
 	CacheMisses int
+	// Mod is the interprocedural module view, when this run built one (a
+	// fully warm cached run does not; BuildPartition callers must build
+	// it themselves then).
+	Mod *ModuleInfo
 }
 
 // RunAnalyzersOpts is the full-featured runner. Semantics match
@@ -37,25 +46,36 @@ type RunResult struct {
 // entry stores the surviving findings plus the (file, line, analyzer)
 // triples its suppressions consumed, so staleallow sees identical usage
 // whether a package was analyzed or replayed.
+//
+// Global analyzers cannot use per-package closure keys — their findings
+// (a lock-order cycle, an escape classification) can change when *any*
+// package changes, closure member or not. They run once over the whole
+// module and cache in a single entry keyed by every package's content
+// hash: sound by construction, and any edit re-runs exactly them plus
+// the edited closures.
 func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *RunResult {
 	res := &RunResult{Packages: len(pkgs)}
 	ranStale := false
-	var active []*Analyzer
+	var perPkg, global []*Analyzer
 	for _, a := range analyzers {
-		if a == StaleAllow {
+		switch {
+		case a == StaleAllow:
 			// Whole-run analyzer: judged after filtering, below.
 			ranStale = true
-			continue
+		case a.Global:
+			global = append(global, a)
+		default:
+			perPkg = append(perPkg, a)
 		}
-		active = append(active, a)
 	}
 	sup := buildSuppressions(pkgs)
 
 	keys := map[*Package]string{}
+	globalKey := ""
 	cached := map[*Package][]Diagnostic{}
 	var missed []*Package
 	if opt.Cache != nil {
-		keys = cacheKeys(pkgs, analyzers)
+		keys, globalKey = cacheKeys(pkgs, analyzers)
 		for _, pkg := range pkgs {
 			ent, ok := opt.Cache.get(keys[pkg])
 			if !ok {
@@ -73,18 +93,35 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 	}
 	res.CacheMisses = len(missed)
 
-	fresh := map[*Package][]Diagnostic{}
-	if len(missed) > 0 {
+	var globalDiags []Diagnostic
+	globalHit := false
+	if len(global) > 0 && opt.Cache != nil && globalKey != "" {
+		if ent, ok := opt.Cache.get(globalKey); ok {
+			globalDiags = ent.Findings
+			for _, u := range ent.Used {
+				sup.allows(u.File, u.Line, u.Analyzer)
+			}
+			globalHit = true
+		}
+	}
+
+	var mod *ModuleInfo
+	typeClean := true
+	if len(missed) > 0 || (len(global) > 0 && !globalHit) {
 		if opt.EnsureTypes != nil {
 			opt.EnsureTypes()
 		}
-		typeClean := true
 		for _, pkg := range pkgs {
 			if len(pkg.TypeErrors) > 0 {
 				typeClean = false
 			}
 		}
-		mod := BuildModule(pkgs)
+		mod = BuildModule(pkgs)
+		res.Mod = mod
+	}
+
+	fresh := map[*Package][]Diagnostic{}
+	if len(missed) > 0 {
 		raw := make([][]Diagnostic, len(missed))
 		workers := opt.Workers
 		if workers > len(missed) {
@@ -92,7 +129,7 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 		}
 		if workers <= 1 {
 			for i, pkg := range missed {
-				raw[i] = analyzePkg(pkg, active, mod)
+				raw[i] = analyzePkg(pkg, perPkg, mod)
 			}
 		} else {
 			// The analyzers are pure functions over the immutable typed
@@ -102,10 +139,10 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 			var wg sync.WaitGroup
 			for k := 0; k < workers; k++ {
 				wg.Add(1)
-				go func() { //easyio:allow nakedgo (host-side analysis worker pool; no virtual clock exists here)
+				go func() { //easyio:allow nakedgo (host-side analysis worker pool; the typed ASTs and ModuleInfo are immutable-after-init here, each worker writes only its own raw[i] slot, and wg.Wait joins before reads)
 					defer wg.Done()
 					for i := range jobs {
-						raw[i] = analyzePkg(missed[i], active, mod)
+						raw[i] = analyzePkg(missed[i], perPkg, mod)
 					}
 				}()
 			}
@@ -126,6 +163,23 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 		}
 	}
 
+	if len(global) > 0 && !globalHit {
+		// Module-wide passes replay BuildModule's precomputed findings;
+		// running them sequentially in package order keeps the raw stream
+		// deterministic (it is sorted with everything else below anyway).
+		var raw []Diagnostic
+		for _, pkg := range pkgs {
+			for _, a := range global {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &raw})
+			}
+		}
+		kept, used := sup.filterPkg(raw)
+		globalDiags = kept
+		if opt.Cache != nil && typeClean && globalKey != "" {
+			opt.Cache.put(globalKey, cacheEntry{Findings: kept, Used: used})
+		}
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if d, ok := cached[pkg]; ok {
@@ -134,6 +188,7 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 			diags = append(diags, fresh[pkg]...)
 		}
 	}
+	diags = append(diags, globalDiags...)
 	if ranStale {
 		diags = append(diags, sup.staleFindings(analyzers)...)
 	}
@@ -142,7 +197,7 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 	return res
 }
 
-// analyzePkg runs the non-staleallow analyzers over one package into a
+// analyzePkg runs the per-package analyzers over one package into a
 // private diagnostics slice (pre-suppression).
 func analyzePkg(pkg *Package, analyzers []*Analyzer, mod *ModuleInfo) []Diagnostic {
 	var diags []Diagnostic

@@ -52,11 +52,14 @@ var Simtime = &Analyzer{
 }
 
 // hostPkg reports whether an import path is host harness territory:
-// commands, examples, and the benchmark driver. Everything else in the
-// module is simulation code under the categorical ban.
+// commands, examples, the benchmark driver, and the analysis framework
+// itself (its fact cache timestamps LRU entries with wall time).
+// Everything else in the module is simulation code under the categorical
+// ban.
 func hostPkg(path string) bool {
 	return strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
-		strings.HasSuffix(path, "/internal/bench")
+		strings.HasSuffix(path, "/internal/bench") ||
+		strings.HasSuffix(path, "/internal/analysis")
 }
 
 func runSimtime(pass *Pass) {

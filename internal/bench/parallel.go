@@ -79,7 +79,7 @@ func runJobs(n int, fn func(i int)) {
 		wg.Add(1)
 		// The workers run whole simulations to completion and join before
 		// runJobs returns; no virtual clock spans the fan-out.
-		go func() { //easyio:allow nakedgo (host-side job pool; each job owns a private engine)
+		go func() { //easyio:allow nakedgo (host-side job pool; every engine a job touches is node-confined to its worker, and results merge under mu after the join)
 			defer wg.Done()
 			defer releaseHelper()
 			worker()

@@ -410,7 +410,7 @@ func (fs *FS) Unlink(t *caladan.Task, path string) error {
 	if target.IsDir() {
 		return ErrIsDir
 	}
-	target.Mu.Lock(t)
+	target.Mu.Lock(t) //easyio:allow lockorder (hierarchical order within the Inode.Mu class: the parent directory's lock always precedes its non-directory child's — the IsDir guard above rules out dir/dir nesting, so no inverse pair can form)
 	defer target.Mu.Unlock()
 	tail := fs.AppendEntries(dir, []*Entry{{Type: etDentryDel, Ino: num, Name: name, Mtime: fs.Now()}})
 	fs.CommitTail(dir, tail)

@@ -359,7 +359,7 @@ func (e *Engine) Pending() int {
 // called outside event context (after Run returns). The engine remains
 // usable for inspection but no further events should be scheduled.
 func (e *Engine) Shutdown() {
-	//easyio:allow maporder (kills are independent; post-run teardown order is unobservable)
+	//easyio:allow maporder (the Proc set is node-confined to this engine — kills are independent and post-run teardown order is unobservable)
 	for p := range e.procs {
 		p.kill()
 	}
@@ -460,7 +460,7 @@ func (p *Proc) Resume() bool {
 		panic("sim: Resume on running proc " + p.name)
 	case procNew:
 		p.state = procRunning
-		//easyio:allow nakedgo (the one sanctioned goroutine: Proc coroutine backing)
+		//easyio:allow nakedgo (the one sanctioned goroutine: Proc coroutine backing; *Proc is shared-guarded — every handoff crosses the resume/yield channels, so scheduler and coroutine never touch it concurrently)
 		go p.main()
 	case procPaused:
 		p.state = procRunning
