@@ -60,4 +60,15 @@ go build -o /tmp/easyio-serve-check ./cmd/easyio-serve
 diff /tmp/easyio-serve-p1.txt /tmp/easyio-serve-p4.txt
 rm -f /tmp/easyio-serve-check /tmp/easyio-serve-p1.txt /tmp/easyio-serve-p4.txt
 
+echo '== cluster scaling smoke (-simworkers 1 vs 4 byte-identity)'
+go build -o /tmp/easyio-bench-sw ./cmd/easyio-bench
+/tmp/easyio-bench-sw -exp fig9 -quick -simworkers 1 > /tmp/easyio-bench-sw1.txt
+/tmp/easyio-bench-sw -exp fig9 -quick -simworkers 4 > /tmp/easyio-bench-sw4.txt
+diff /tmp/easyio-bench-sw1.txt /tmp/easyio-bench-sw4.txt
+go build -o /tmp/easyio-serve-sw ./cmd/easyio-serve
+/tmp/easyio-serve-sw -quick -simworkers 1 > /tmp/easyio-serve-sw1.txt
+/tmp/easyio-serve-sw -quick -simworkers 4 > /tmp/easyio-serve-sw4.txt
+diff /tmp/easyio-serve-sw1.txt /tmp/easyio-serve-sw4.txt
+rm -f /tmp/easyio-bench-sw /tmp/easyio-bench-sw?.txt /tmp/easyio-serve-sw /tmp/easyio-serve-sw?.txt
+
 echo 'check.sh: all gates green'

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	points := flag.Int("crashpoints", 1000, "crash states per Table 2 workload")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep-point jobs (output is identical for any value)")
+	simworkers := flag.Int("simworkers", runtime.GOMAXPROCS(0), "goroutines per multi-domain simulation (output is identical for any value)")
 	benchjson := flag.String("benchjson", "", "write kernel perf + per-experiment wall-clock JSON to this file")
 	flag.Parse()
 
@@ -39,6 +40,10 @@ func main() {
 		*parallel = 1
 	}
 	bench.Workers = *parallel
+	if *simworkers < 1 {
+		*simworkers = 1
+	}
+	bench.SimWorkers = *simworkers
 
 	measure := 20 * sim.Millisecond
 	raw := 10 * sim.Millisecond
@@ -58,7 +63,7 @@ func main() {
 	}
 	all := want["all"]
 	ok := true
-	report := &bench.Report{Workers: *parallel}
+	report := &bench.Report{Workers: *parallel, SimWorkers: *simworkers}
 	run := func(name string, fn func()) {
 		if all || want[name] {
 			fmt.Printf("==== %s ====\n", name)
@@ -94,6 +99,7 @@ func main() {
 
 	if *benchjson != "" {
 		report.Kernel = bench.MeasureKernelPerf()
+		report.Fig9Scaling, report.Fig9Speedup4W = bench.MeasureFig9Scaling(measure, *seed)
 		f, err := os.Create(*benchjson)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -29,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "short measurement windows, skip the million-request cell (smoke test)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep-point jobs (output is identical for any value)")
+	simworkers := flag.Int("simworkers", runtime.GOMAXPROCS(0), "goroutines per multi-domain simulation (output is identical for any value)")
 	jsonPath := flag.String("json", "", "write the serve report JSON to this file")
 	million := flag.Bool("million", false, "force the million-request capacity cell even with -quick")
 	flag.Parse()
@@ -37,6 +38,10 @@ func main() {
 		*parallel = 1
 	}
 	bench.Workers = *parallel
+	if *simworkers < 1 {
+		*simworkers = 1
+	}
+	bench.SimWorkers = *simworkers
 
 	measure := 20 * sim.Millisecond
 	runMillion := true

@@ -62,6 +62,9 @@ type InstanceOptions struct {
 	Functional bool  // keep data pages functional (default: ephemeral)
 	Manager    core.ManagerOptions
 	Seed       uint64
+	// Engine, if set, hosts the instance on an existing engine (a cluster
+	// domain's) instead of creating a fresh one.
+	Engine *sim.Engine
 }
 
 // NewInstance builds a formatted, mounted system with a runtime sized for
@@ -70,7 +73,10 @@ func NewInstance(sys System, workerCores int, o InstanceOptions) (*Instance, err
 	if o.DeviceSize == 0 {
 		o.DeviceSize = 8 << 30
 	}
-	eng := sim.NewEngine()
+	eng := o.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	dev := pmem.New(eng, perfmodel.System(), o.DeviceSize)
 	novaOpts := nova.Options{NumInodes: 16384, EphemeralData: !o.Functional}
 	inst := &Instance{Sys: sys, Eng: eng, Dev: dev, Cores: workerCores, UtPerCore: 1}

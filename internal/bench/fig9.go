@@ -30,10 +30,80 @@ type Fig9Panel struct {
 // fig9Cores is the core sweep (§6.2 uses up to 18 worker threads).
 var fig9Cores = []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 24, 30, 36}
 
-// RunFig9Panel sweeps one panel. The (system, cores) sweep points are
-// independent simulations, so they fan out across bench.Workers; the
-// curves are assembled from the slot array afterwards, in sweep order.
-func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uint64) *Fig9Panel {
+// fig9Job is one simulation cell of the figure: a (workload, I/O size,
+// system, cores) point.
+type fig9Job struct {
+	wl     fxmark.Workload
+	ioSize int
+	sys    System
+	cores  int
+}
+
+// fig9PanelJobs enumerates one panel's (system, cores) sweep in paper
+// order.
+func fig9PanelJobs(wl fxmark.Workload, ioSize int) []fig9Job {
+	var jobs []fig9Job
+	for _, sys := range AllSystems() {
+		for _, cores := range fig9Cores {
+			if cores > MaxWorkerCores(sys) {
+				continue
+			}
+			jobs = append(jobs, fig9Job{wl, ioSize, sys, cores})
+		}
+	}
+	return jobs
+}
+
+// runFig9Cells executes every cell as an unlinked domain of one
+// sim.Cluster: each domain builds its instance (node-confined setup) and
+// runs its measure window on a real goroutine, up to SimWorkers at a
+// time. Unlinked domains have an unbounded horizon, so the cluster
+// degenerates to a single round — embarrassingly parallel, with results
+// collected into index-addressed slots so the output is byte-identical
+// for any worker count.
+func runFig9Cells(jobs []fig9Job, measure sim.Duration, seed uint64) []Fig9Point {
+	cl := sim.NewCluster(SimWorkers)
+	insts := make([]*Instance, len(jobs))
+	pends := make([]*fxmark.Pending, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		cl.AddDomain(fpfS("fig9/%s-%dk/%s/%d", j.wl, j.ioSize>>10, j.sys, j.cores), func(d *sim.Domain) {
+			inst, err := NewInstance(j.sys, j.cores, InstanceOptions{Seed: seed, Engine: d.Engine()})
+			if err != nil {
+				panic(err)
+			}
+			pend, err := fxmark.Start(inst.Eng, inst.RT, inst.FS, fxmark.Config{
+				Workload: j.wl,
+				Cores:    j.cores,
+				Uthreads: inst.Uthreads(),
+				IOSize:   j.ioSize,
+				Measure:  measure,
+				Seed:     seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			insts[i], pends[i] = inst, pend
+			d.SetDeadline(pend.End())
+		})
+	}
+	cl.Run()
+	points := make([]Fig9Point, len(jobs))
+	for i := range jobs {
+		res := pends[i].Result()
+		insts[i].Close()
+		points[i] = Fig9Point{
+			Cores: jobs[i].cores,
+			Thr:   res.Throughput(),
+			Avg:   res.Lat.Mean(),
+			P99:   res.Lat.P99(),
+		}
+	}
+	return points
+}
+
+// assembleFig9Panel folds a panel's points into curves and peak tables.
+func assembleFig9Panel(wl fxmark.Workload, ioSize int, jobs []fig9Job, points []Fig9Point) *Fig9Panel {
 	p := &Fig9Panel{
 		Workload:    wl,
 		IOSize:      ioSize,
@@ -41,45 +111,6 @@ func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uin
 		Peak:        map[System]Fig9Point{},
 		CoresAtPeak: map[System]int{},
 	}
-	type job struct {
-		sys   System
-		cores int
-	}
-	var jobs []job
-	for _, sys := range AllSystems() {
-		for _, cores := range fig9Cores {
-			if cores > MaxWorkerCores(sys) {
-				continue
-			}
-			jobs = append(jobs, job{sys, cores})
-		}
-	}
-	points := make([]Fig9Point, len(jobs))
-	runJobs(len(jobs), func(i int) {
-		j := jobs[i]
-		inst, err := NewInstance(j.sys, j.cores, InstanceOptions{Seed: seed})
-		if err != nil {
-			panic(err)
-		}
-		res, err := fxmark.Run(inst.Eng, inst.RT, inst.FS, fxmark.Config{
-			Workload: wl,
-			Cores:    j.cores,
-			Uthreads: inst.Uthreads(),
-			IOSize:   ioSize,
-			Measure:  measure,
-			Seed:     seed,
-		})
-		if err != nil {
-			panic(err)
-		}
-		inst.Close()
-		points[i] = Fig9Point{
-			Cores: j.cores,
-			Thr:   res.Throughput(),
-			Avg:   res.Lat.Mean(),
-			P99:   res.Lat.P99(),
-		}
-	})
 	for i, j := range jobs {
 		p.Curves[j.sys] = append(p.Curves[j.sys], points[i])
 	}
@@ -102,24 +133,53 @@ func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uin
 	return p
 }
 
-// Fig9 runs all four panels and prints curves plus the cores-at-peak
-// tables embedded in the paper's figure.
-func Fig9(w io.Writer, measure sim.Duration, seed uint64) []*Fig9Panel {
-	type panelCfg struct {
-		wl     fxmark.Workload
-		ioSize int
-		label  string
-	}
-	cfgs := []panelCfg{
+// RunFig9Panel sweeps one panel under the cluster runner.
+func RunFig9Panel(wl fxmark.Workload, ioSize int, measure sim.Duration, seed uint64) *Fig9Panel {
+	jobs := fig9PanelJobs(wl, ioSize)
+	return assembleFig9Panel(wl, ioSize, jobs, runFig9Cells(jobs, measure, seed))
+}
+
+// fig9PanelCfg names one of the figure's four panels.
+type fig9PanelCfg struct {
+	wl     fxmark.Workload
+	ioSize int
+	label  string
+}
+
+func fig9PanelCfgs() []fig9PanelCfg {
+	return []fig9PanelCfg{
 		{fxmark.DWAL, 16 << 10, "Write Thru. (16KB)"},
 		{fxmark.DRBL, 16 << 10, "Read Thru. (16KB)"},
 		{fxmark.DWAL, 64 << 10, "Write Thru. (64KB)"},
 		{fxmark.DRBL, 64 << 10, "Read Thru. (64KB)"},
 	}
+}
+
+// fig9AllJobs enumerates every cell of the whole figure, with offs[i]
+// marking where panel i's slice starts (offs has len(cfgs)+1 entries).
+func fig9AllJobs(cfgs []fig9PanelCfg) (jobs []fig9Job, offs []int) {
+	offs = make([]int, len(cfgs)+1)
+	for i, cfg := range cfgs {
+		jobs = append(jobs, fig9PanelJobs(cfg.wl, cfg.ioSize)...)
+		offs[i+1] = len(jobs)
+	}
+	return jobs, offs
+}
+
+// Fig9 runs all four panels and prints curves plus the cores-at-peak
+// tables embedded in the paper's figure.
+func Fig9(w io.Writer, measure sim.Duration, seed uint64) []*Fig9Panel {
+	cfgs := fig9PanelCfgs()
+	// All four panels' cells go into ONE cluster, so -simworkers is the
+	// scaling axis for the whole figure (184 domains on up to SimWorkers
+	// goroutines).
+	jobs, offs := fig9AllJobs(cfgs)
+	points := runFig9Cells(jobs, measure, seed)
 	panels := make([]*Fig9Panel, len(cfgs))
-	runJobs(len(cfgs), func(i int) {
-		panels[i] = RunFig9Panel(cfgs[i].wl, cfgs[i].ioSize, measure, seed)
-	})
+	for i, cfg := range cfgs {
+		panels[i] = assembleFig9Panel(cfg.wl, cfg.ioSize,
+			jobs[offs[i]:offs[i+1]], points[offs[i]:offs[i+1]])
+	}
 	for i, cfg := range cfgs {
 		p := panels[i]
 		fpf(w, "Figure 9 — %s: throughput vs latency by core count\n", cfg.label)

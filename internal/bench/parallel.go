@@ -15,6 +15,14 @@ import (
 // a driver.
 var Workers = runtime.GOMAXPROCS(0)
 
+// SimWorkers bounds how many goroutines a multi-domain sim.Cluster uses
+// inside a single experiment (fig9's cell fleet, the multi-node serving
+// cell). Orthogonal to Workers: Workers fans out whole independent
+// simulations, SimWorkers parallelizes domains within one simulation
+// under conservative lookahead. Digests are byte-identical for any value.
+// Set it (e.g. from the -simworkers flag) before invoking a driver.
+var SimWorkers = runtime.GOMAXPROCS(0)
+
 // activeHelpers counts the *extra* goroutines across all concurrent
 // runJobs calls (nested calls share the budget of Workers-1). Slots are
 // try-acquired: a job that cannot get one simply runs on the goroutine

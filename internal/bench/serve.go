@@ -116,6 +116,7 @@ type ServeReport struct {
 	MeasureNS int64             `json:"measure_ns"`
 	Cores     int               `json:"cores"`
 	Cells     []ServeCell       `json:"cells"`
+	Fleet     *FleetCell        `json:"fleet,omitempty"`
 	Million   *ServeMillionCell `json:"million_requests,omitempty"`
 }
 
@@ -259,6 +260,13 @@ func Serve(w io.Writer, measure sim.Duration, seed uint64, million bool) *ServeR
 			float64(base.Tenants[0].P99NS)/1e3, float64(ewma.Tenants[0].P99NS)/1e3,
 			float64(serveSLO)/1e3)
 	}
+
+	fleet := fleetCell(measure, seed)
+	report.Fleet = &fleet
+	fpf(w, "fleet cell (router + %d nodes, %.1fus link floor): %d sent, %d acked, %d shed, rtt p50 %.1fus p99 %.1fus p999 %.1fus\n",
+		fleet.Nodes, float64(fleet.LinkFloorNS)/1e3,
+		fleet.Sent, fleet.Acked, fleet.Shed,
+		float64(fleet.RTTP50NS)/1e3, float64(fleet.RTTP99NS)/1e3, float64(fleet.RTTP999NS)/1e3)
 
 	if million {
 		m := serveMillion(seed)

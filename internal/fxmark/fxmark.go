@@ -105,6 +105,34 @@ func mustOp(op string, err error) {
 }
 
 func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) (*Result, error) {
+	p, err := Start(eng, rt, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.RunUntil(p.End())
+	return p.Result(), nil
+}
+
+// Pending is a started-but-not-driven run: Start has done the untimed
+// setup and spawned the workers; the result is valid once the caller has
+// advanced the engine to at least End (RunUntil semantics — a cluster
+// domain does this with a deadline).
+type Pending struct {
+	res *Result
+	end sim.Time
+}
+
+// End is the virtual time the measure window closes.
+func (p *Pending) End() sim.Time { return p.end }
+
+// Result returns the collector; its counters are final only after the
+// engine has run to End.
+func (p *Pending) Result() *Result { return p.res }
+
+// Start performs the untimed setup (file creation, prefill) and spawns
+// the worker uthreads, but does not drive the engine — the caller owns
+// virtual time. Run wraps it for the common single-engine case.
+func Start(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) (*Pending, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Span: cfg.Measure}
 	g := rng.New(cfg.Seed ^ 0xf8a1)
@@ -141,7 +169,6 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 	start := eng.Now()
 	warmEnd := start + sim.Time(cfg.Warmup)
 	end := warmEnd + sim.Time(cfg.Measure)
-	buf := make([]byte, cfg.IOSize)
 
 	for i := 0; i < cfg.Uthreads; i++ {
 		i := i
@@ -187,9 +214,7 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 			}
 		})
 	}
-	_ = buf
-	eng.RunUntil(end)
-	return res, nil
+	return &Pending{res: res, end: end}, nil
 }
 
 // prefill functionally sizes a file (ephemeral-aware: metadata only).

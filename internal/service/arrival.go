@@ -77,6 +77,14 @@ func (a ArrivalSpec) validate() error {
 	return nil
 }
 
+// Next samples the gap from the arrival at now to the following arrival,
+// for remote load generators (a fleet router domain) that replay a
+// tenant's arrival process outside the Server. Defaults are applied, so a
+// bare spec samples exactly like the same spec inside a Config.
+func (a ArrivalSpec) Next(g *rng.Rand, now sim.Time) sim.Duration {
+	return a.withDefaults().next(g, now)
+}
+
 // next samples the gap from the arrival at now to the following arrival.
 // The result is always at least 1ns so arrival chains advance.
 func (a ArrivalSpec) next(g *rng.Rand, now sim.Time) sim.Duration {

@@ -213,6 +213,7 @@ func (r *Result) Digest() uint64 {
 
 // tenant is the runtime state behind a TenantSpec.
 type tenant struct {
+	idx   int // position in Config.Tenants (Inject addressing)
 	spec  TenantSpec
 	garr  *rng.Rand // arrival-process stream
 	gmix  *rng.Rand // request-content stream (file, offsets)
@@ -258,6 +259,12 @@ type Server struct {
 	idle    []int
 
 	warmEnd, end sim.Time
+	suspend0     int64
+
+	// OnComplete, if set before the run starts, observes every request
+	// completion in event context (a fleet node uses it to ack its
+	// router). ti is the tenant's Config.Tenants index.
+	OnComplete func(ti int, measured bool, lat sim.Duration)
 }
 
 // Run executes a serving run to completion (same contract as
@@ -265,6 +272,24 @@ type Server struct {
 // and shutdown). It returns once all arrivals have been generated and
 // the drain window has elapsed.
 func Run(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Result, error) {
+	s, err := New(eng, rt, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.StartArrivals()
+	s.StartManager()
+	eng.RunUntil(s.End())
+	return s.Finish(), nil
+}
+
+// New performs the untimed setup of a serving run — tenant state, file
+// prefill, LApp registration, worker-pool spawn — but starts neither the
+// arrival chains nor the channel manager, and does not drive the engine.
+// The split exists for multi-domain serving: a cluster node domain builds
+// its Server in init context, a router domain Injects requests, and the
+// cluster owns virtual time. Run composes the pieces for the common
+// single-engine case.
+func New(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("service: Config.Cores must be positive")
@@ -302,6 +327,7 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Result
 		}
 		tg := root.Fork(uint64(ti))
 		tn := &tenant{
+			idx:  ti,
 			spec: spec,
 			garr: tg.Fork(1),
 			gmix: tg.Fork(2),
@@ -346,13 +372,17 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Result
 		})
 		s.workers = append(s.workers, ut)
 	}
+	return s, nil
+}
 
-	// Open-loop arrival chains, one per tenant.
+// StartArrivals schedules the tenants' open-loop arrival chains. A fleet
+// router omits this on its nodes and feeds them via Inject instead.
+func (s *Server) StartArrivals() {
 	for _, tn := range s.tenants {
 		tn := tn
 		var sched func(at sim.Time)
 		sched = func(at sim.Time) {
-			eng.At(at, func() {
+			s.eng.At(at, func() {
 				s.onArrival(tn)
 				nxt := at + sim.Time(tn.spec.Arrival.next(tn.garr, at))
 				if nxt < s.end {
@@ -360,31 +390,51 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Result
 				}
 			})
 		}
+		start := s.warmEnd - sim.Time(s.cfg.Warmup)
 		first := start + sim.Time(tn.spec.Arrival.next(tn.garr, start))
 		if first < s.end {
 			sched(first)
 		}
 	}
+}
 
-	// The channel manager's epoch loop enforces (and, with Adaptive,
-	// adjusts) the B budget for the whole run.
+// StartManager starts the channel manager's epoch loop, which enforces
+// (and, with Adaptive, adjusts) the B budget for the whole run, and
+// snapshots the suspend counter Finish reports against.
+func (s *Server) StartManager() {
 	s.mgr.Start()
-	suspend0 := s.mgr.SuspendCount()
-	eng.RunUntil(s.end + sim.Time(cfg.Drain))
-	s.mgr.Stop()
+	s.suspend0 = s.mgr.SuspendCount()
+}
 
-	res := &Result{Policy: pol.name(), Span: cfg.Measure, Suspends: s.mgr.SuspendCount() - suspend0, BLimit: s.mgr.BLimit()}
+// End is the virtual time the run is over: last arrival plus drain.
+func (s *Server) End() sim.Time { return s.end + sim.Time(s.cfg.Drain) }
+
+// Finish stops the channel manager and assembles the result. Valid only
+// once the engine has reached End.
+func (s *Server) Finish() *Result {
+	s.mgr.Stop()
+	res := &Result{Policy: s.pol.name(), Span: s.cfg.Measure, Suspends: s.mgr.SuspendCount() - s.suspend0, BLimit: s.mgr.BLimit()}
 	for _, tn := range s.tenants {
 		tn.res.Unfinished = tn.res.Admitted - tn.res.Completed
 		res.Tenants = append(res.Tenants, tn.res)
 	}
-	return res, nil
+	return res
 }
 
 // onArrival runs in event context at each arrival instant.
 func (s *Server) onArrival(tn *tenant) {
 	now := s.eng.Now()
-	measured := now >= s.warmEnd
+	s.Inject(tn.idx, now, now >= s.warmEnd)
+}
+
+// Inject enqueues one request for tenant ti through the admission
+// policy, exactly as a local arrival would — the entry point for a
+// router domain feeding this node across a cluster link. arrive is the
+// request's birth time (the router's send instant, so reported latency
+// is end-to-end including the link); it must not be after the node's
+// now. Returns whether the request was admitted. Event context only.
+func (s *Server) Inject(ti int, arrive sim.Time, measured bool) bool {
+	tn := s.tenants[ti]
 	if measured {
 		tn.res.Arrived++
 	}
@@ -392,7 +442,7 @@ func (s *Server) onArrival(tn *tenant) {
 		if measured {
 			tn.res.Shed++
 		}
-		return
+		return false
 	}
 	if measured {
 		tn.res.Admitted++
@@ -401,9 +451,10 @@ func (s *Server) onArrival(tn *tenant) {
 		s.bulkOut++
 	}
 	req := s.allocReq()
-	req.tn, req.arrive, req.measured = tn, now, measured
+	req.tn, req.arrive, req.measured = tn, arrive, measured
 	s.pushReq(req)
 	s.wakeWorker()
+	return true
 }
 
 // workerLoop pulls requests until the simulation ends. Buffers are
@@ -458,6 +509,9 @@ func (s *Server) execute(task *caladan.Task, req *request, rbuf, wbuf []byte) {
 		tn.lapp.Report(lat)
 	}
 	s.pol.complete(s, tn, lat)
+	if s.OnComplete != nil {
+		s.OnComplete(tn.idx, req.measured, lat)
+	}
 }
 
 // alignedOff picks a block-aligned offset keeping [off, off+ioSize)

@@ -1,0 +1,36 @@
+//go:build easyio_invariants
+
+package sim
+
+import "testing"
+
+// TestGrantedHorizonAssertFires: under the invariants tag an engine must
+// refuse to execute any event at or past the horizon a cluster granted
+// it — the runtime teeth behind the conservative-lookahead proof.
+func TestGrantedHorizonAssertFires(t *testing.T) {
+	e := NewEngine()
+	e.setHorizon(5)
+	e.At(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event past the granted horizon executed without panic")
+		}
+	}()
+	e.Run()
+}
+
+// TestGrantedHorizonAllowsEarlier: events strictly before the horizon run
+// normally, and clearing the horizon disarms the check.
+func TestGrantedHorizonAllowsEarlier(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.setHorizon(5)
+	e.At(4, func() { ran++ })
+	e.RunUntil(4)
+	e.clearHorizon()
+	e.At(10, func() { ran++ })
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}

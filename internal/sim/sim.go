@@ -135,12 +135,19 @@ func (h *eventHeap) pop() *event {
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now Time
+	// q is the pending-event queue: a hierarchical timer wheel (wheel.go)
+	// with an overflow heap for far timers, yielding events in exact
+	// (time, seq) order.
+	q   wheel
+	seq uint64
 	// live counts scheduled, not-yet-fired, not-cancelled events so
 	// Pending is O(1). Timer.Stop decrements it exactly once per event.
-	live    int
+	live int
+	// dead counts cancelled events still resident in the queue, so both
+	// alloc and Timer.Stop can trigger compaction — a long run of Stops
+	// with no intervening schedules must not retain dead events.
+	dead    int
 	free    []*event
 	procs   map[*Proc]struct{}
 	stopped bool
@@ -149,11 +156,18 @@ type Engine struct {
 	// running is the proc currently executing a slice, tracked only when
 	// the easyio_invariants build tag asserts single-running-proc.
 	running *Proc
+	// horizon, when armed by the cluster layer, is the exclusive bound a
+	// domain has been granted; under the easyio_invariants tag step
+	// asserts no event at or past it executes.
+	horizon   Time
+	horizonOn bool
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	e := &Engine{procs: make(map[*Proc]struct{})}
+	e.q.init()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -166,11 +180,10 @@ func (e *Engine) alloc(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
-	// Cancelled events stay in the heap until their deadline; when they
+	// Cancelled events stay queued until their deadline; when they
 	// outnumber live ones (the pmem stop/reschedule pattern), drop them
-	// in one pass. Pop order is fully determined by the (time, seq)
-	// total order, so rebuilding the heap is temporally invisible.
-	if dead := len(e.events) - e.live; dead > 64 && dead > e.live {
+	// in one pass.
+	if e.dead > 64 && e.dead > e.live {
 		e.compact()
 	}
 	var ev *event
@@ -185,27 +198,21 @@ func (e *Engine) alloc(t Time) *event {
 	ev.t = t
 	ev.seq = e.seq
 	ev.dead = false
-	e.events.push(ev)
+	e.q.insert(ev)
 	e.live++
 	return ev
 }
 
-// compact removes cancelled events from the heap and re-heapifies.
+// compact sweeps cancelled events out of the wheel and overflow heap. Pop
+// order is fully determined by the (time, seq) total order over live
+// events, so compaction is temporally invisible.
 func (e *Engine) compact() {
-	keep := e.events[:0]
-	for _, ev := range e.events {
-		if ev.dead {
-			e.release(ev)
-		} else {
-			keep = append(keep, ev)
-		}
-	}
-	for i := len(keep); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = keep
-	for i := len(keep)/2 - 1; i >= 0; i-- {
-		keep.down(i)
+	e.q.sweepDead(func(ev *event) {
+		e.dead--
+		e.release(ev)
+	})
+	if invariants.Enabled && e.dead != 0 {
+		panic(fmt.Sprintf("sim: %d dead events unaccounted after compaction", e.dead))
 	}
 }
 
@@ -263,25 +270,39 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	t.ev.dead = true
-	t.eng.live--
+	e := t.eng
+	e.live--
+	e.dead++
+	// Cancel-heavy workloads with no intervening schedules must not pile
+	// up dead events: Stop shares alloc's compaction trigger, keeping it
+	// O(1) amortized.
+	if e.dead > 64 && e.dead > e.live {
+		e.compact()
+	}
 	return true
 }
 
 // step runs the earliest pending event. It reports false if none remain or
 // the engine was stopped.
 func (e *Engine) step(deadline Time, bounded bool) bool {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if bounded && ev.t > deadline {
+	for {
+		ev := e.q.peek(deadline, bounded)
+		if ev == nil {
 			return false
 		}
-		e.events.pop()
+		e.q.popDue()
 		if ev.dead {
+			e.dead--
 			e.release(ev)
 			continue
 		}
-		if invariants.Enabled && ev.t < e.now {
-			panic(fmt.Sprintf("sim: event heap yielded time %v before now %v", ev.t, e.now))
+		if invariants.Enabled {
+			if ev.t < e.now {
+				panic(fmt.Sprintf("sim: event queue yielded time %v before now %v", ev.t, e.now))
+			}
+			if e.horizonOn && ev.t >= e.horizon {
+				panic(fmt.Sprintf("sim: event at %v executed at or past granted horizon %v", ev.t, e.horizon))
+			}
 		}
 		e.now = ev.t
 		e.live--
@@ -305,7 +326,6 @@ func (e *Engine) step(deadline Time, bounded bool) bool {
 		e.inEvent = false
 		return !e.stopped
 	}
-	return false
 }
 
 // Run processes events until none remain or Stop is called.
@@ -342,18 +362,39 @@ func (e *Engine) Sequence() uint64 { return e.seq }
 // from a live counter maintained by alloc, step and Timer.Stop.
 func (e *Engine) Pending() int {
 	if invariants.Enabled {
-		n := 0
-		for _, ev := range e.events {
-			if !ev.dead {
+		n, d := 0, 0
+		e.q.forEach(func(ev *event) {
+			if ev.dead {
+				d++
+			} else {
 				n++
 			}
-		}
+		})
 		if n != e.live {
-			panic(fmt.Sprintf("sim: live-event counter %d but heap holds %d live events", e.live, n))
+			panic(fmt.Sprintf("sim: live-event counter %d but queue holds %d live events", e.live, n))
+		}
+		if d != e.dead {
+			panic(fmt.Sprintf("sim: dead-event counter %d but queue holds %d dead events", e.dead, d))
 		}
 	}
 	return e.live
 }
+
+// nextPendingTime reports the earliest queued event time (cancelled events
+// included, as a conservative lower bound) without disturbing the queue.
+// The cluster layer uses it to compute lookahead horizons.
+func (e *Engine) nextPendingTime() (Time, bool) { return e.q.nextTime() }
+
+// setHorizon arms the granted-horizon assertion: under the
+// easyio_invariants tag, step panics if an event at or past bound
+// executes. The cluster layer arms it around each domain slice.
+func (e *Engine) setHorizon(bound Time) {
+	e.horizon = bound
+	e.horizonOn = true
+}
+
+// clearHorizon disarms the granted-horizon assertion.
+func (e *Engine) clearHorizon() { e.horizonOn = false }
 
 // Shutdown kills every live Proc so their goroutines exit. It must be
 // called outside event context (after Run returns). The engine remains
