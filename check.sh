@@ -12,9 +12,9 @@ go vet ./...
 echo '== go run ./cmd/easyio-vet ./...'
 go run ./cmd/easyio-vet ./...
 
-echo '== analyzer registry completeness (>= 16 analyzers)'
+echo '== analyzer registry completeness (>= 19 analyzers)'
 n=$(go run ./cmd/easyio-vet -list | wc -l)
-test "$n" -ge 16 || { echo "only $n analyzers registered"; exit 1; }
+test "$n" -ge 19 || { echo "only $n analyzers registered"; exit 1; }
 
 echo '== easyio-vet cache smoke (warm rerun byte-identical, all hits)'
 go build -o /tmp/easyio-vet-check ./cmd/easyio-vet

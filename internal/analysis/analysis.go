@@ -32,6 +32,13 @@
 //	              or shared-guarded — never unguarded shared state
 //	atomichygiene - no mixed atomic/plain field access, no plain access
 //	              to mutex-guarded fields outside the lock
+//	noalloc       - no heap allocation reachable from an //easyio:hotpath
+//	              root (per-function may-allocate summaries, bottom-up;
+//	              //easyio:coldpath and error/crash paths discharge)
+//	boxing        - no interface boxing or fmt-family call reachable from
+//	              a hot root, even when amortized
+//	hotpathcover  - required hot roots are annotated; every hotpath and
+//	              coldpath annotation is live (staleallow for perf)
 //
 // persistorder/fencehygiene/recoverypurity ride on the persistence
 // dataflow engine (dataflow.go): a path-sensitive walker abstracts each
@@ -108,6 +115,7 @@ func All() []*Analyzer {
 		CBGate, ChargeBalance, ParkContext, StaleAllow,
 		PersistOrder, FenceHygiene, RecoveryPurity,
 		LockOrder, Confinement, AtomicHygiene,
+		NoAlloc, Boxing, HotPathCover,
 	}
 }
 

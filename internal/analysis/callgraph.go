@@ -55,6 +55,10 @@ type ModuleInfo struct {
 	locks   *moduleLocks
 	conf    *confinementInfo
 	atomicH *atomicInfo
+	// hot is the module-wide hot-path allocation-contract view the
+	// perf-contract analyzers (noalloc, boxing, hotpathcover) replay and
+	// BuildPartition renders (noalloc.go).
+	hot *moduleHot
 
 	pkgs      []*Package
 	pkgPaths  map[string]bool
@@ -143,6 +147,7 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	computeLockOrder(mod)
 	computeConfinement(mod)
 	computeAtomicHygiene(mod)
+	computeHotPaths(mod)
 	// Precompute the lazily memoized views so Pass.Mod is read-only
 	// during (possibly parallel) analyzer execution.
 	mod.fsMethodNames()

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// matcherConfig mirrors the GitHub problem-matcher file shape.
+type matcherConfig struct {
+	ProblemMatcher []struct {
+		Owner   string `json:"owner"`
+		Pattern []struct {
+			Regexp  string `json:"regexp"`
+			File    int    `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Code    int    `json:"code"`
+			Message int    `json:"message"`
+		} `json:"pattern"`
+	} `json:"problemMatcher"`
+}
+
+// TestProblemMatcherCoversRegistry keeps the GitHub problem-matcher config
+// in lock-step with the analyzer registry: a diagnostic line from every
+// registered analyzer must match the matcher's regexp with the `code`
+// capture group equal to the analyzer name. An analyzer whose name the
+// pattern cannot capture would produce annotations GitHub silently drops.
+func TestProblemMatcherCoversRegistry(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "easyio-vet-matcher.json"))
+	if err != nil {
+		t.Fatalf("read matcher config: %v", err)
+	}
+	var cfg matcherConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatalf("parse matcher config: %v", err)
+	}
+	if len(cfg.ProblemMatcher) != 1 || len(cfg.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("expected exactly one matcher with one pattern, got %+v", cfg)
+	}
+	pat := cfg.ProblemMatcher[0].Pattern[0]
+	re, err := regexp.Compile(pat.Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+	for _, a := range All() {
+		line := fmt.Sprintf("internal/sim/engine.go:42:7: %s: synthetic diagnostic text", a.Name)
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("analyzer %q: diagnostic line %q does not match the problem matcher", a.Name, line)
+			continue
+		}
+		if got := m[pat.Code]; got != a.Name {
+			t.Errorf("analyzer %q: matcher code group captured %q", a.Name, got)
+		}
+		if m[pat.File] != "internal/sim/engine.go" || m[pat.Line] != "42" || m[pat.Column] != "7" {
+			t.Errorf("analyzer %q: file/line/column groups captured %q/%q/%q",
+				a.Name, m[pat.File], m[pat.Line], m[pat.Column])
+		}
+	}
+}

@@ -30,6 +30,11 @@ type PartitionReport struct {
 	// UnguardedFindings counts shared-unguarded escape findings
 	// (pre-suppression); the parallel refactor requires this to be zero.
 	UnguardedFindings int `json:"unguarded_findings"`
+	// HotPaths is the per-root performance-contract status: every
+	// //easyio:hotpath root with its reachability and allocation counts.
+	// CI diffs this section, so a root regressing to "allocating" — or an
+	// amortized/dynamic-call count creeping up — is visible in review.
+	HotPaths []HotRootStatus `json:"hot_paths"`
 }
 
 // PartitionType is one classified type with its evidence chain.
@@ -61,7 +66,7 @@ type PartitionLockEdge struct {
 	At   string `json:"at"`
 }
 
-const partitionVersion = "easyio-partition-v1"
+const partitionVersion = "easyio-partition-v2"
 
 // BuildPartition renders the concurrency partition of a built module.
 // Positions are root-relative so the report is stable across checkouts.
@@ -117,6 +122,7 @@ func BuildPartition(mod *ModuleInfo, root string) *PartitionReport {
 		lo.Cycles = ml.cycles
 	}
 	rep.LockOrder = lo
+	rep.HotPaths = mod.HotRoots()
 	return rep
 }
 

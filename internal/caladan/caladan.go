@@ -64,7 +64,10 @@ func New(eng *sim.Engine, opts Options) *Runtime {
 		rng:      rng.New(opts.Seed ^ 0xca1ada),
 	}
 	for i := 0; i < opts.Cores; i++ {
-		rt.cores = append(rt.cores, &Core{rt: rt, id: i, idle: true})
+		c := &Core{rt: rt, id: i, idle: true}
+		c.dispatchFn = c.dispatch
+		c.runCurrentFn = c.runCurrent
+		rt.cores = append(rt.cores, c)
 	}
 	return rt
 }
@@ -109,6 +112,8 @@ func (rt *Runtime) Spawn(core int, name string, fn func(*Task)) *UThread {
 		panic(fmt.Sprintf("caladan: spawn on core %d of %d", core, len(rt.cores)))
 	}
 	ut := &UThread{rt: rt, core: rt.cores[core], state: utRunnable, name: name}
+	ut.resumeFn = func() { ut.core.runCurrent() }
+	ut.wakeFn = ut.Wake
 	ut.proc = rt.eng.NewProc(name, func(p *sim.Proc) {
 		fn(&Task{ut: ut})
 	})
@@ -130,7 +135,7 @@ func (rt *Runtime) kickIdleCores() {
 		if c.idle && !c.dispatchPending && c.cur == nil && len(c.runq) == 0 && c.stealable() {
 			c.dispatchPending = true
 			c.markBusy()
-			rt.eng.After(rt.cpu.UthreadSwitch+rt.cpu.PollCheck, c.dispatch)
+			rt.eng.After(rt.cpu.UthreadSwitch+rt.cpu.PollCheck, c.dispatchFn)
 		}
 	}
 }
@@ -157,6 +162,20 @@ type UThread struct {
 	req         request
 	wakePending bool
 
+	// scratch is an opaque per-uthread slot for the filesystem layers'
+	// reusable operation state (descriptor pools, staging buffers,
+	// pre-bound completion callbacks). Operations on one uthread are
+	// strictly sequential, so a single slot suffices; only pointers go
+	// in, which keeps the any-store allocation-free.
+	scratch any
+
+	// resumeFn/wakeFn are pre-bound once at Spawn: completion callbacks
+	// fire them per request, and a fresh closure there would put an
+	// allocation on every wake (the uthread may migrate cores, so they
+	// read ut.core at call time, same as the literal they replace).
+	resumeFn func()
+	wakeFn   func()
+
 	// heldULocks counts ULocks this uthread currently owns. It is
 	// maintained only under the easyio_invariants build tag, where the
 	// two-level-locking assertion (no completion wait while holding a
@@ -166,6 +185,11 @@ type UThread struct {
 
 // Name returns the uthread's diagnostic name.
 func (ut *UThread) Name() string { return ut.name }
+
+// WakeFn returns the pre-bound Wake callback. Completion paths (DMA
+// OnComplete, flow OnDone) should pass this instead of a fresh closure
+// or method value, which would allocate per completion.
+func (ut *UThread) WakeFn() func() { return ut.wakeFn }
 
 // Done reports whether the uthread has finished.
 func (ut *UThread) Done() bool { return ut.state == utDone }
@@ -201,7 +225,7 @@ func (ut *UThread) Wake() {
 		// Busy-waiting: the core is spinning on the completion; it
 		// observes it after one poll check.
 		ut.state = utRunning
-		ut.rt.eng.After(ut.rt.cpu.PollCheck, func() { ut.core.runCurrent() })
+		ut.rt.eng.After(ut.rt.cpu.PollCheck, ut.resumeFn)
 	case utParked:
 		ut.state = utRunnable
 		home := ut.core
@@ -245,6 +269,13 @@ type Core struct {
 	busyAccum       sim.Duration
 	busySince       sim.Time
 	switches        int64
+
+	// dispatchFn/runCurrentFn are the scheduling callbacks pre-bound at
+	// core construction: every scheduling point passes one of them to
+	// eng.After, and a method value there would allocate a bound-method
+	// closure per dispatch (see //easyio:hotpath on the callers).
+	dispatchFn   func()
+	runCurrentFn func()
 }
 
 // ID returns the core index.
@@ -290,7 +321,7 @@ func (c *Core) maybeDispatch() {
 	c.dispatchPending = true
 	c.markBusy()
 	// Context switch + completion poll at every scheduling point.
-	c.rt.eng.After(c.rt.cpu.UthreadSwitch+c.rt.cpu.PollCheck, c.dispatch)
+	c.rt.eng.After(c.rt.cpu.UthreadSwitch+c.rt.cpu.PollCheck, c.dispatchFn)
 }
 
 // dispatch installs the next runnable uthread and runs it.
@@ -305,8 +336,12 @@ func (c *Core) dispatch() {
 			return
 		}
 	}
+	// Shift-pop so the backing array is reused: a [1:] reslice would make
+	// every later Wake append reallocate the queue.
 	ut := c.runq[0]
-	c.runq = c.runq[1:]
+	copy(c.runq, c.runq[1:])
+	c.runq[len(c.runq)-1] = nil
+	c.runq = c.runq[:len(c.runq)-1]
 	ut.core = c
 	ut.state = utRunning
 	c.cur = ut
@@ -358,7 +393,7 @@ func (c *Core) runCurrent() {
 	switch ut.req.kind {
 	case reqCompute:
 		d := ut.req.compute
-		c.rt.eng.After(d, c.runCurrent)
+		c.rt.eng.After(d, c.runCurrentFn)
 	case reqYield:
 		ut.state = utRunnable
 		c.cur = nil
@@ -379,7 +414,7 @@ func (c *Core) runCurrent() {
 	case reqWait:
 		if ut.wakePending {
 			ut.wakePending = false
-			c.rt.eng.After(c.rt.cpu.PollCheck, c.runCurrent)
+			c.rt.eng.After(c.rt.cpu.PollCheck, c.runCurrentFn)
 			return
 		}
 		ut.state = utWaiting
@@ -393,7 +428,7 @@ func (c *Core) runCurrent() {
 func (c *Core) next() {
 	if len(c.runq) > 0 || c.stealable() {
 		c.dispatchPending = true
-		c.rt.eng.After(c.rt.cpu.UthreadSwitch+c.rt.cpu.PollCheck, c.dispatch)
+		c.rt.eng.After(c.rt.cpu.UthreadSwitch+c.rt.cpu.PollCheck, c.dispatchFn)
 		return
 	}
 	c.markIdle()
@@ -418,6 +453,13 @@ type Task struct {
 
 // Runtime returns the owning runtime.
 func (t *Task) Runtime() *Runtime { return t.ut.rt }
+
+// Scratch returns the uthread's opaque filesystem scratch slot.
+func (t *Task) Scratch() any { return t.ut.scratch }
+
+// SetScratch installs the uthread's filesystem scratch. Store pointers
+// only: a pointer-shaped value boxes for free.
+func (t *Task) SetScratch(v any) { t.ut.scratch = v }
 
 // Engine returns the simulation engine.
 func (t *Task) Engine() *sim.Engine { return t.ut.rt.eng }

@@ -100,6 +100,11 @@ type Manager struct {
 	epochBase  int64 // bchan.BytesCompleted at epoch start
 	suspACC    int64 // suspend/resume actions (stats)
 	BLimitHist []float64
+
+	// budgetCheckFn/epochTickFn are the epoch-loop callbacks, created
+	// once so per-epoch scheduling makes no closures.
+	budgetCheckFn func()
+	epochTickFn   func()
 }
 
 // NewManager lays out channels: L channels are spread across engines
@@ -118,6 +123,8 @@ func NewManager(eng *sim.Engine, engines []*dma.Engine, opts ManagerOptions) *Ma
 	}
 	e0 := engines[0]
 	m.bchan = ChanRef{Engine: e0, Chan: e0.Channel(e0.NumChannels() - 1)}
+	m.budgetCheckFn = m.budgetCheck
+	m.epochTickFn = m.epochTick
 	return m
 }
 
@@ -166,22 +173,25 @@ func (m *Manager) ReadChanAdmission() (ChanRef, bool) {
 
 // SplitB chops a bulk transfer into BSplit-sized descriptor pieces: B-app
 // I/O must be small enough that a mid-epoch channel suspension never
-// forces a large transfer to restart (§4.4).
-func (m *Manager) SplitB(write bool, pmOff int64, buf []byte, size int) []*dma.Desc {
+// forces a large transfer to restart (§4.4). The pieces come from sc's
+// descriptor pool and are appended onto sc.descRefs; the caller brackets
+// the call with len(sc.descRefs) to find its batch.
+func (m *Manager) SplitB(sc *opScratch, write bool, pmOff int64, buf []byte, size int) {
 	split := m.opts.BSplit
-	var descs []*dma.Desc
 	for pos := 0; pos < size; pos += split {
 		n := size - pos
 		if n > split {
 			n = split
 		}
-		d := &dma.Desc{Write: write, PMOff: pmOff + int64(pos), Size: n}
+		d := sc.desc()
+		d.Write = write
+		d.PMOff = pmOff + int64(pos)
+		d.Size = n
 		if buf != nil {
 			d.Buf = buf[pos : pos+n]
 		}
-		descs = append(descs, d)
+		sc.descRefs = append(sc.descRefs, d)
 	}
-	return descs
 }
 
 // Start launches the per-epoch QoS loop: Listing 1's limit adaptation plus
@@ -192,7 +202,7 @@ func (m *Manager) Start() {
 	}
 	m.running = true
 	m.epochBase = m.bchan.Chan.BytesCompleted()
-	m.eng.After(m.opts.Epoch, m.epochTick)
+	m.eng.After(m.opts.Epoch, m.epochTickFn)
 	m.scheduleBudgetCheck()
 }
 
@@ -237,7 +247,7 @@ func (m *Manager) epochTick() {
 		m.bchan.Chan.Resume()
 		m.suspACC++
 	}
-	m.eng.After(m.opts.Epoch, m.epochTick)
+	m.eng.After(m.opts.Epoch, m.epochTickFn)
 	m.scheduleBudgetCheck()
 }
 
@@ -246,15 +256,19 @@ func (m *Manager) epochTick() {
 func (m *Manager) scheduleBudgetCheck() {
 	step := m.opts.Epoch / 8
 	for i := 1; i < 8; i++ {
-		m.eng.After(sim.Duration(i)*step, func() {
-			if !m.running || m.bchan.Chan.Suspended() {
-				return
-			}
-			budget := int64(m.bLimit * m.opts.Epoch.Seconds())
-			if m.bchan.Chan.BytesCompleted()-m.epochBase >= budget {
-				m.bchan.Chan.Suspend()
-				m.suspACC++
-			}
-		})
+		m.eng.After(sim.Duration(i)*step, m.budgetCheckFn)
+	}
+}
+
+// budgetCheck is one mid-epoch budget sample (scheduled pre-bound as
+// budgetCheckFn).
+func (m *Manager) budgetCheck() {
+	if !m.running || m.bchan.Chan.Suspended() {
+		return
+	}
+	budget := int64(m.bLimit * m.opts.Epoch.Seconds())
+	if m.bchan.Chan.BytesCompleted()-m.epochBase >= budget {
+		m.bchan.Chan.Suspend()
+		m.suspACC++
 	}
 }

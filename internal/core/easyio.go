@@ -212,7 +212,7 @@ func (fs *FS) WriteAtClass(t *caladan.Task, f *nova.File, off int64, data []byte
 		fs.Charge(t, cpu.MetaAppend+cpu.MetaCommit)
 		tail := fs.AppendEntries(ino, entries)
 		fs.CommitTail(ino, tail)
-		fs.FinishWrite(ino, entries)
+		fs.FinishWrite(t, ino, entries)
 		if t != nil {
 			fs.CPUTimeWrite += sim.Duration(t.Now() - start)
 		}
@@ -238,81 +238,72 @@ func (fs *FS) writeOrderless(t *caladan.Task, ino *nova.Inode, off int64, data [
 
 	// Build descriptors: ClassL gets one descriptor per contiguous run on
 	// round-robin L channels; ClassB splits each run into 64 KB pieces,
-	// all funneled through the shared throttled B channel.
-	type runSub struct {
-		ref   ChanRef
-		descs []*dma.Desc
-	}
-	subs := make([]runSub, 0, len(runs))
+	// all funneled through the shared throttled B channel. Descriptors
+	// and per-run records come from the uthread scratch; the previous
+	// operation's have all completed.
+	sc := scratchFor(t)
+	sc.resetDescs()
+	subs := sc.subs[:0]
 	pos := int64(0)
-	totalDescs := 0
 	for _, r := range runs {
 		var sub runSub
 		var buf []byte
 		if prep.Buf != nil {
 			buf = prep.Buf[pos : pos+r.Bytes()]
 		}
+		sub.lo = len(sc.descRefs)
 		if class == ClassB {
 			sub.ref = fs.mgr.BChannel()
-			sub.descs = fs.mgr.SplitB(true, r.Off, buf, int(r.Bytes()))
+			fs.mgr.SplitB(sc, true, r.Off, buf, int(r.Bytes()))
 		} else {
 			sub.ref = fs.mgr.NextWriteChan()
-			d := &dma.Desc{Write: true, PMOff: r.Off, Size: int(r.Bytes())}
+			d := sc.desc()
+			d.Write = true
+			d.PMOff = r.Off
+			d.Size = int(r.Bytes())
 			if buf != nil {
 				d.Buf = buf
 			}
-			sub.descs = []*dma.Desc{d}
+			sc.descRefs = append(sc.descRefs, d)
 		}
-		totalDescs += len(sub.descs)
+		sub.hi = len(sc.descRefs)
 		subs = append(subs, sub)
 		pos += r.Bytes()
 	}
+	sc.subs = subs
+	totalDescs := len(sc.descRefs)
 
 	// Completion wiring: the op finishes when every descriptor lands.
-	ut := t.UThread()
-	remaining := totalDescs
-	var replaced []nova.Run
-	onDescDone := func(uint64) {
-		remaining--
-		if remaining == 0 {
-			// Old blocks are only reusable once the new data is durable:
-			// recovery may fall back to them until then.
-			fs.FreeRuns(replaced)
-			ino.Pending--
-			if ino.Pending == 0 {
-				ino.Gate.Broadcast()
-			}
-			ut.Wake()
-		}
-	}
-	for _, sub := range subs {
-		for _, d := range sub.descs {
-			d.OnComplete = onDescDone
-		}
+	// replaced must be cleared before the first descriptor can complete —
+	// a completion may fire during the submit charge, before
+	// ApplyWriteEntries runs, and must free nothing.
+	sc.fs, sc.ino, sc.ut = fs, ino, t.UThread()
+	sc.remaining = totalDescs
+	sc.replaced = nil
+	for _, d := range sc.descRefs {
+		d.OnComplete = sc.onDescDone
 	}
 
 	// Submit (batched per channel) and record the SN that witnesses each
 	// run (the last descriptor of the run).
 	fs.Charge(t, cpu.DMASubmitBase+sim.Duration(totalDescs)*cpu.DMASubmitPerDesc)
-	runSNs := make([]struct {
-		eng, ch int
-		sn      uint64
-	}, len(subs))
-	for i, sub := range subs {
-		sns := fs.submitWithRetry(t, sub.ref, sub.descs)
-		runSNs[i].eng = sub.ref.Engine.ID()
-		runSNs[i].ch = sub.ref.Chan.ID()
-		runSNs[i].sn = sns[len(sns)-1]
+	runSNs := sc.runSNs[:0]
+	for _, sub := range subs {
+		sns := fs.submitWithRetry(t, sub.ref, sc.descRefs[sub.lo:sub.hi])
+		runSNs = append(runSNs, runSN{
+			eng: sub.ref.Engine.ID(),
+			ch:  sub.ref.Chan.ID(),
+			sn:  sns[len(sns)-1],
+		})
 	}
+	sc.runSNs = runSNs
 
 	// Metadata commit proceeds while the DMA is in flight (§4.2).
-	entries := prep.Entries(func(run int) (int, int, uint64) {
-		return runSNs[run].eng, runSNs[run].ch, runSNs[run].sn
-	})
+	entries := prep.Entries(sc.snFn)
 	fs.Charge(t, cpu.MetaAppend+cpu.MetaCommit)
 	tail := fs.AppendEntries(ino, entries)
 	fs.CommitTail(ino, tail)
-	replaced = fs.ApplyWriteEntries(ino, entries)
+	sc.replaced = fs.ApplyWriteEntries(t, ino, entries)
 	ino.Pending++
 
 	// Early unlock at metadata commit (§4.3 level-1 release) — both lock
@@ -322,7 +313,7 @@ func (fs *FS) writeOrderless(t *caladan.Task, ino *nova.Inode, off int64, data [
 	if t != nil {
 		fs.CPUTimeWrite += sim.Duration(t.Now() - start)
 	}
-	if remaining > 0 {
+	if sc.remaining > 0 {
 		fs.waitCompletion(t)
 	}
 	return len(data), nil
@@ -339,28 +330,26 @@ func (fs *FS) writeNaive(t *caladan.Task, ino *nova.Inode, off int64, data []byt
 		return 0, err
 	}
 	// Interaction 1: submit the data DMA and wait for completion.
-	ut := t.UThread()
-	remaining := 0
-	var descs []*dma.Desc
+	sc := scratchFor(t)
+	sc.resetDescs()
 	pos := int64(0)
 	for _, r := range runs {
-		d := &dma.Desc{Write: true, PMOff: r.Off, Size: int(r.Bytes())}
+		d := sc.desc()
+		d.Write = true
+		d.PMOff = r.Off
+		d.Size = int(r.Bytes())
 		if prep.Buf != nil {
 			d.Buf = prep.Buf[pos : pos+r.Bytes()]
 		}
-		d.OnComplete = func(uint64) {
-			remaining--
-			if remaining == 0 {
-				ut.Wake()
-			}
-		}
+		d.OnComplete = sc.wakeDone
 		pos += r.Bytes()
-		descs = append(descs, d)
+		sc.descRefs = append(sc.descRefs, d)
 	}
-	remaining = len(descs)
-	fs.Charge(t, cpu.DMASubmitBase+sim.Duration(len(descs))*cpu.DMASubmitPerDesc)
-	for _, d := range descs {
-		fs.submitWithRetry(t, fs.mgr.NextWriteChan(), []*dma.Desc{d})
+	sc.ut = t.UThread()
+	sc.remaining = len(sc.descRefs)
+	fs.Charge(t, cpu.DMASubmitBase+sim.Duration(len(sc.descRefs))*cpu.DMASubmitPerDesc)
+	for i := range sc.descRefs {
+		fs.submitWithRetry(t, fs.mgr.NextWriteChan(), sc.descRefs[i:i+1])
 	}
 	fs.waitCompletion(t) // lock still held: the prolonged critical section
 	fs.Device().Fence()
@@ -370,7 +359,7 @@ func (fs *FS) writeNaive(t *caladan.Task, ino *nova.Inode, off int64, data []byt
 	entries := prep.Entries(nil)
 	tail := fs.AppendEntries(ino, entries)
 	fs.CommitTail(ino, tail)
-	fs.FinishWrite(ino, entries)
+	fs.FinishWrite(t, ino, entries)
 	ino.Mu.Unlock()
 	if t != nil {
 		fs.CPUTimeWrite += sim.Duration(t.Now() - start)
@@ -423,7 +412,15 @@ func (fs *FS) ReadAtClass(t *caladan.Task, f *nova.File, off int64, buf []byte, 
 	}
 	pages := int((off+n-1)/nova.BlockSize - off/nova.BlockSize + 1)
 	fs.Charge(t, cpu.IndexBase+sim.Duration(pages)*cpu.IndexPerPage+cpu.TimestampUpdate)
-	runs := ino.ExtentRuns(off, n)
+	var sc *opScratch
+	var runs []nova.Run
+	if t != nil {
+		sc = scratchFor(t)
+		runs = ino.ExtentRuns(sc.extents[:0], off, n)
+		sc.extents = runs
+	} else {
+		runs = ino.ExtentRuns(nil, off, n)
+	}
 	// Functional snapshot under the lock: the bytes the read returns are
 	// the bytes present at its serialization point. (The real system
 	// relies on CoW plus deferred frees for the same guarantee.)
@@ -447,24 +444,22 @@ func (fs *FS) ReadAtClass(t *caladan.Task, f *nova.File, off int64, buf []byte, 
 			ref, ok = fs.mgr.ReadChanAdmission()
 		}
 		if ok {
-			ut := t.UThread()
-			var descs []*dma.Desc
+			sc.resetDescs()
 			if class == ClassB {
-				descs = fs.mgr.SplitB(false, firstDataOff(runs), nil, int(bytes))
+				fs.mgr.SplitB(sc, false, firstDataOff(runs), nil, int(bytes))
 			} else {
-				descs = []*dma.Desc{{PMOff: firstDataOff(runs), Size: int(bytes)}}
+				d := sc.desc()
+				d.PMOff = firstDataOff(runs)
+				d.Size = int(bytes)
+				sc.descRefs = append(sc.descRefs, d)
 			}
-			remaining := len(descs)
-			for _, d := range descs {
-				d.OnComplete = func(uint64) {
-					remaining--
-					if remaining == 0 {
-						ut.Wake()
-					}
-				}
+			sc.ut = t.UThread()
+			sc.remaining = len(sc.descRefs)
+			for _, d := range sc.descRefs {
+				d.OnComplete = sc.wakeDone
 			}
-			fs.Charge(t, cpu.DMASubmitBase+sim.Duration(len(descs))*cpu.DMASubmitPerDesc)
-			fs.submitWithRetry(t, ref, descs)
+			fs.Charge(t, cpu.DMASubmitBase+sim.Duration(len(sc.descRefs))*cpu.DMASubmitPerDesc)
+			fs.submitWithRetry(t, ref, sc.descRefs)
 			if t != nil {
 				fs.CPUTimeRead += sim.Duration(t.Now() - start)
 			}
@@ -477,7 +472,7 @@ func (fs *FS) ReadAtClass(t *caladan.Task, f *nova.File, off int64, buf []byte, 
 		if t != nil {
 			ut := t.UThread()
 			fs.Device().StartFlow(pmem.FlowSpec{Kind: pmem.FlowCPU, Bytes: bytes,
-				OnDone: func() { ut.Wake() }})
+				OnDone: ut.WakeFn()})
 			t.Wait()
 			fs.CPUTimeRead += sim.Duration(t.Now() - start)
 		}

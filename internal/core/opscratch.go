@@ -1,0 +1,155 @@
+package core
+
+import (
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/dma"
+	"github.com/easyio-sim/easyio/internal/nova"
+)
+
+// opScratch is the per-uthread scratch of the EasyIO submission path:
+// descriptor pool, per-run submission records and the pre-bound
+// completion callbacks. Together with nova's OpArena (which it embeds
+// via the shared uthread slot) it makes the steady-state request
+// lifecycle allocation-free — every buffer reaches its high-water size
+// once and is reused, and every callback closure is created exactly once
+// per uthread (the //easyio:hotpath contract on Server.execute).
+//
+// Safety rests on the operation discipline the analyzers certify: one
+// uthread runs one operation at a time, and every entry point waits for
+// its own descriptors/flows before returning, so nothing here is live
+// across operations.
+type opScratch struct {
+	arena *nova.OpArena
+
+	// Descriptor pool: desc() hands out cleared *dma.Desc values whose
+	// identity is stable; resetDescs() recycles them per operation (all
+	// prior descriptors have completed by then).
+	descPool []*dma.Desc
+	descUsed int
+	// descRefs is the flat submission list; per-run batches are index
+	// ranges into it (appending may move the backing array, so no
+	// subslices are taken until it is fully built).
+	descRefs []*dma.Desc
+
+	subs    []runSub
+	runSNs  []runSN
+	extents []nova.Run
+
+	// Operation state read by the pre-bound callbacks.
+	fs        *FS
+	ino       *nova.Inode
+	ut        *caladan.UThread
+	remaining int
+	replaced  []nova.Run
+
+	// onDescDone is writeOrderless' per-descriptor completion (deferred
+	// free + gate broadcast + wake); wakeDone is the plain countdown wake
+	// used by writeNaive and the read path; snFn reads runSNs for entry
+	// stamping. All three are created once, at scratch construction.
+	onDescDone func(uint64)
+	wakeDone   func(uint64)
+	snFn       func(run int) (int, int, uint64)
+}
+
+// runSub records one run's submission batch: the channel and the
+// [lo, hi) range of its descriptors in descRefs.
+type runSub struct {
+	ref    ChanRef
+	lo, hi int
+}
+
+// runSN records the completion witness of one run (the SN of its last
+// descriptor, per channel).
+type runSN struct {
+	eng, ch int
+	sn      uint64
+}
+
+// NovaArena implements nova's arenaHolder: both layers share the one
+// uthread scratch slot.
+func (sc *opScratch) NovaArena() *nova.OpArena {
+	if sc.arena == nil {
+		sc.growArena()
+	}
+	return sc.arena
+}
+
+// growArena materializes the embedded nova arena, once per uthread. Only
+// reachable through the arenaHolder interface, so it needs no coldpath
+// discharge — dynamic calls are summarized per hot root instead.
+func (sc *opScratch) growArena() {
+	sc.arena = nova.NewOpArena()
+}
+
+// scratchFor resolves the uthread's scratch, installing one on first
+// use. Only called with a non-nil task: every nil-task entry point takes
+// the synchronous path, which needs no submission scratch.
+func scratchFor(t *caladan.Task) *opScratch {
+	if sc, ok := t.Scratch().(*opScratch); ok {
+		return sc
+	}
+	return installScratch(t)
+}
+
+// installScratch builds the per-uthread scratch and its pre-bound
+// callbacks, once per uthread. If nova already parked a bare arena in
+// the slot, it is adopted.
+//
+//easyio:coldpath (one-time per-uthread scratch setup)
+func installScratch(t *caladan.Task) *opScratch {
+	sc := &opScratch{}
+	if a, ok := t.Scratch().(*nova.OpArena); ok {
+		sc.arena = a
+	}
+	sc.onDescDone = func(uint64) {
+		sc.remaining--
+		if sc.remaining == 0 {
+			// Old blocks are only reusable once the new data is durable:
+			// recovery may fall back to them until then.
+			sc.fs.FreeRuns(sc.replaced)
+			sc.ino.Pending--
+			if sc.ino.Pending == 0 {
+				sc.ino.Gate.Broadcast()
+			}
+			sc.ut.Wake()
+		}
+	}
+	sc.wakeDone = func(uint64) {
+		sc.remaining--
+		if sc.remaining == 0 {
+			sc.ut.Wake()
+		}
+	}
+	sc.snFn = func(run int) (int, int, uint64) {
+		return sc.runSNs[run].eng, sc.runSNs[run].ch, sc.runSNs[run].sn
+	}
+	t.SetScratch(sc)
+	return sc
+}
+
+// resetDescs recycles the descriptor pool and submission list for a new
+// operation. The previous operation's descriptors have all completed
+// (its entry point waited on them), so their identities are free.
+func (sc *opScratch) resetDescs() {
+	sc.descUsed = 0
+	sc.descRefs = sc.descRefs[:0]
+}
+
+// desc hands out a cleared pooled descriptor.
+func (sc *opScratch) desc() *dma.Desc {
+	if sc.descUsed == len(sc.descPool) {
+		sc.growDescPool()
+	}
+	d := sc.descPool[sc.descUsed]
+	sc.descUsed++
+	*d = dma.Desc{}
+	return d
+}
+
+// growDescPool raises the descriptor-pool high-water mark — bounded by
+// the largest single operation's descriptor count.
+//
+//easyio:coldpath (descriptor-pool high-water growth)
+func (sc *opScratch) growDescPool() {
+	sc.descPool = append(sc.descPool, &dma.Desc{})
+}

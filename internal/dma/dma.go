@@ -76,11 +76,14 @@ type Engine struct {
 func NewEngine(dev *pmem.Device, id, nchans int, cbBase int64) *Engine {
 	e := &Engine{eng: dev.Engine(), dev: dev, id: id, cbBase: cbBase}
 	for i := 0; i < nchans; i++ {
-		e.chans = append(e.chans, &Channel{
+		c := &Channel{
 			eng: e,
 			id:  i,
 			cb:  cbBase + int64(i)*CBStride,
-		})
+		}
+		c.startupFn = c.startCur
+		c.flowDoneFn = c.finishCurFlow
+		e.chans = append(e.chans, c)
 	}
 	return e
 }
@@ -116,6 +119,16 @@ type Channel struct {
 	// though the channel is suspended (progress was past the point of no
 	// return when CHANCMD was written).
 	finishCur bool
+
+	// sns is Submit's reusable SN buffer: the returned slice is valid
+	// until the next Submit on this channel (callers consume it before
+	// yielding). startupFn/flowDoneFn are the startup-delay and
+	// flow-completion callbacks, pre-bound at construction so the
+	// per-descriptor path never allocates a closure; both read c.cur at
+	// fire time, which requeue/kick keep pointed at the right descriptor.
+	sns        []uint64
+	startupFn  func()
+	flowDoneFn func()
 }
 
 // ID returns the channel index within its engine.
@@ -166,7 +179,10 @@ func (c *Channel) Submit(descs ...*Desc) ([]uint64, error) {
 	if c.QueueDepth()+len(descs) > RingSize {
 		return nil, ErrRingFull
 	}
-	sns := make([]uint64, len(descs))
+	if cap(c.sns) < len(descs) {
+		c.growSNs(len(descs))
+	}
+	sns := c.sns[:len(descs)]
 	for i, d := range descs {
 		if d.size() < 0 {
 			panic(fmt.Sprintf("dma: negative descriptor size %d", d.size()))
@@ -177,6 +193,14 @@ func (c *Channel) Submit(descs ...*Desc) ([]uint64, error) {
 	}
 	c.kick()
 	return sns, nil
+}
+
+// growSNs raises the SN buffer high-water mark. Batch sizes are bounded
+// by RingSize, so the buffer stops growing after the first full batch.
+//
+//easyio:coldpath (SN-buffer high-water growth; bounded by RingSize)
+func (c *Channel) growSNs(n int) {
+	c.sns = make([]uint64, n)
 }
 
 // sizeWeight biases device bandwidth toward large descriptors: the DMA
@@ -198,24 +222,44 @@ func (c *Channel) kick() {
 	if c.cur != nil || c.suspended || len(c.queue) == 0 {
 		return
 	}
+	// Shift-pop keeps the backing array; a [1:] reslice would force later
+	// Submit appends to reallocate per pop.
 	c.cur = c.queue[0]
-	c.queue = c.queue[1:]
+	copy(c.queue, c.queue[1:])
+	c.queue[len(c.queue)-1] = nil
+	c.queue = c.queue[:len(c.queue)-1]
 	c.curInWait = true
+	c.eng.eng.After(c.eng.dev.Model().DMAStartup, c.startupFn)
+}
+
+// startCur fires when the startup delay of the descriptor at c.cur
+// elapses. Suspend during the wait requeues the descriptor to the queue
+// head and clears curInWait, so a stale firing (or the duplicate event a
+// suspend/resume cycle leaves behind) sees curInWait false — or the same
+// descriptor re-kicked, which the original per-kick closure started
+// identically.
+func (c *Channel) startCur() {
 	d := c.cur
-	c.eng.eng.After(c.eng.dev.Model().DMAStartup, func() {
-		if c.cur != d || !c.curInWait {
-			return // suspended and requeued during startup
-		}
-		c.curInWait = false
-		c.curFlow = c.eng.dev.StartFlow(pmem.FlowSpec{
-			Write:  d.Write,
-			Kind:   pmem.FlowDMA,
-			Bytes:  int64(d.size()),
-			Weight: sizeWeight(d.size()),
-			Group:  c.eng.id,
-			OnDone: func() { c.finish(d) },
-		})
+	if d == nil || !c.curInWait {
+		return // suspended and requeued during startup
+	}
+	c.curInWait = false
+	c.curFlow = c.eng.dev.StartFlow(pmem.FlowSpec{
+		Write:  d.Write,
+		Kind:   pmem.FlowDMA,
+		Bytes:  int64(d.size()),
+		Weight: sizeWeight(d.size()),
+		Group:  c.eng.id,
+		OnDone: c.flowDoneFn,
 	})
+}
+
+// finishCurFlow completes the descriptor whose flow just drained. The
+// flow's OnDone fires only while that descriptor is still installed at
+// c.cur: Suspend either cancels the flow (OnDone never fires) or lets it
+// run to completion with c.cur left in place.
+func (c *Channel) finishCurFlow() {
+	c.finish(c.cur)
 }
 
 // finish completes the in-flight descriptor: functional copy, durable
@@ -294,7 +338,9 @@ func (c *Channel) requeueCur() {
 	d := c.cur
 	c.cur = nil
 	c.curInWait = false
-	c.queue = append([]*Desc{d}, c.queue...)
+	c.queue = append(c.queue, nil)
+	copy(c.queue[1:], c.queue)
+	c.queue[0] = d
 }
 
 // Resume restarts a suspended channel.

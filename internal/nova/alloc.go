@@ -62,15 +62,16 @@ func (a *allocator) allocRun(want int) (Run, bool) {
 }
 
 // alloc satisfies pages blocks as a list of runs (contiguous when
-// possible). ok is false when space runs out; partial allocations are
-// rolled back.
-func (a *allocator) alloc(pages int) ([]Run, bool) {
-	var runs []Run
+// possible), appended onto dst (pass a reusable buffer's [:0] to keep
+// the hot path allocation-free). ok is false when space runs out;
+// partial allocations are rolled back.
+func (a *allocator) alloc(dst []Run, pages int) ([]Run, bool) {
+	runs := dst
 	got := 0
 	for got < pages {
 		r, ok := a.allocRun(pages - got)
 		if !ok {
-			for _, u := range runs {
+			for _, u := range runs[len(dst):] {
 				a.freeRun(u)
 			}
 			return nil, false

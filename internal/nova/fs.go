@@ -66,6 +66,13 @@ type FS struct {
 
 	logPageCount int64
 
+	// solo is the shared arena for nil-task functional contexts (which
+	// never yield mid-operation); enc is AppendEntries' entry-encoding
+	// scratch, safe at FS level because nothing yields between encoding
+	// an entry and writing it to the device.
+	solo *OpArena
+	enc  []byte
+
 	// Stats the benches report.
 	OpsRead, OpsWrite       int64
 	BytesRead, BytesWritten int64

@@ -77,14 +77,15 @@ func (ino *Inode) writeSlot() {
 func (fs *FS) AppendEntries(ino *Inode, entries []*Entry) int64 {
 	tail := ino.logTail
 	for _, e := range entries {
-		buf := e.encode()
+		buf := e.appendTo(fs.enc[:0])
+		fs.enc = buf
 		pageStart := tail &^ (BlockSize - 1)
 		inPage := tail - pageStart
 		if inPage+int64(len(buf)) > logPageDataSize {
 			// Mark end-of-page so log walks skip the padding, then chain
 			// a fresh log page.
 			if inPage < logPageDataSize {
-				fs.dev.WriteAt(tail, []byte{0})
+				fs.dev.WriteAt(tail, endOfPageMark[:])
 			}
 			next, ok := fs.alloc.allocRun(1)
 			if !ok || next.Pages != 1 {
@@ -119,10 +120,16 @@ func (fs *FS) walkLog(head, tail int64, visit func(Entry)) (pages []int64) {
 	})
 }
 
+// endOfPageMark is the zero type byte AppendEntries stamps before
+// chaining a fresh log page (a package var so the hot path has no slice
+// literal to allocate; WriteAt only reads it).
+var endOfPageMark = [1]byte{0}
+
 // applyWriteEntry updates the DRAM index for a (committed or in-commit)
-// write entry, returning the replaced blocks so the caller can free them
-// after commit.
-func (ino *Inode) applyWriteEntry(e *Entry) (replaced []Run) {
+// write entry, appending the replaced blocks onto dst so the caller can
+// free them after commit.
+func (ino *Inode) applyWriteEntry(e *Entry, dst []Run) []Run {
+	replaced := dst
 	firstPg := e.FileOff / BlockSize
 	for i := int64(0); i < int64(e.Pages); i++ {
 		pg := firstPg + i
@@ -150,15 +157,16 @@ func appendRun(runs []Run, blockOff int64) []Run {
 	return append(runs, Run{Off: blockOff, Pages: 1})
 }
 
-// extentRuns returns the device runs backing the byte range [off, off+n)
-// of the file, coalescing adjacent blocks. Holes are returned as runs with
-// Off == -1 (readers must zero-fill).
+// ExtentRuns returns the device runs backing the byte range [off, off+n)
+// of the file, coalescing adjacent blocks, appended onto dst (pass a
+// reusable buffer's [:0] to keep the read path allocation-free). Holes
+// are returned as runs with Off == -1 (readers must zero-fill).
 // ExtentRuns is exported for EasyIO's lock-free read path.
-func (ino *Inode) ExtentRuns(off, n int64) []Run {
+func (ino *Inode) ExtentRuns(dst []Run, off, n int64) []Run {
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	var runs []Run
+	runs := dst
 	firstPg := off / BlockSize
 	lastPg := (off + n - 1) / BlockSize
 	for pg := firstPg; pg <= lastPg; pg++ {

@@ -50,7 +50,7 @@ func (fs *FS) writeLocked(t *caladan.Task, ino *Inode, off int64, data []byte) (
 	fs.Charge(t, fs.cpu.MetaAppend+sim.Duration(len(entries)-1)*fs.cpu.MetaAppend/4+fs.cpu.MetaCommit)
 	tail := fs.AppendEntries(ino, entries)
 	fs.CommitTail(ino, tail)
-	fs.FinishWrite(ino, entries)
+	fs.FinishWrite(t, ino, entries)
 	return len(data), nil
 }
 
@@ -66,6 +66,10 @@ type WritePrep struct {
 	Buf  []byte
 	Runs []Run
 	Mtim uint64
+
+	// ar is the arena backing Buf, Runs and the entries this prep will
+	// build; set by PrepareWrite, defaulted for hand-built preps.
+	ar *OpArena
 }
 
 // PrepareWrite charges the indexing/allocation cost, allocates CoW blocks
@@ -77,56 +81,73 @@ func (fs *FS) PrepareWrite(t *caladan.Task, ino *Inode, off int64, data []byte) 
 	pages := int(lastPg - firstPg + 1)
 	fs.Charge(t, fs.cpu.IndexBase+sim.Duration(pages)*fs.cpu.IndexPerPage+
 		fs.cpu.AllocBase+sim.Duration(pages)*fs.cpu.AllocPerPage)
-	runs, ok := fs.alloc.alloc(pages)
+	ar := fs.arenaFor(t)
+	ar.used = 0
+	runs, ok := fs.alloc.alloc(ar.runs[:0], pages)
+	ar.runs = runs
 	if !ok {
 		return nil, nil, ErrNoSpace
 	}
 	var buf []byte
 	if !fs.opts.EphemeralData {
-		buf = make([]byte, int64(pages)*BlockSize)
+		buf = ar.bytes(int64(pages) * BlockSize)
 		headPad := off - firstPg*BlockSize
 		tailEnd := off + int64(len(data))
-		// Read-modify-write of partial edge pages (CoW keeps old bytes).
-		// Bytes beyond the current EOF are zeroed: a truncated-then-
-		// extended file must not resurrect stale block contents.
-		mergeOld := func(pg int64, dst []byte) {
-			b := ino.BlockFor(pg)
-			if b < 0 {
-				return
-			}
-			fs.dev.ReadAt(dst, b)
-			if eofIn := ino.Size - pg*BlockSize; eofIn < BlockSize {
-				if eofIn < 0 {
-					eofIn = 0
-				}
-				for i := eofIn; i < BlockSize; i++ {
-					dst[i] = 0
-				}
-			}
-		}
 		if headPad != 0 || tailEnd < (firstPg+1)*BlockSize {
-			mergeOld(firstPg, buf[:BlockSize])
+			fs.mergeOld(ino, firstPg, buf[:BlockSize])
 		}
 		if lastPg != firstPg && tailEnd%BlockSize != 0 {
-			mergeOld(lastPg, buf[int64(pages-1)*BlockSize:])
+			fs.mergeOld(ino, lastPg, buf[int64(pages-1)*BlockSize:])
 		}
 		copy(buf[headPad:], data)
 	}
-	return &WritePrep{
+	prep := &ar.prep
+	*prep = WritePrep{
 		Ino:     ino,
 		FileOff: off,
 		Data:    data,
 		Buf:     buf,
 		Runs:    runs,
 		Mtim:    fs.Now(),
-	}, runs, nil
+		ar:      ar,
+	}
+	return prep, runs, nil
+}
+
+// mergeOld read-modify-writes a partial edge page into dst (CoW keeps
+// old bytes). Bytes beyond the current EOF are zeroed: a truncated-then-
+// extended file must not resurrect stale block contents. Pages with no
+// existing block are zero-filled explicitly — dst comes from a reused
+// arena buffer, not a fresh allocation.
+func (fs *FS) mergeOld(ino *Inode, pg int64, dst []byte) {
+	b := ino.BlockFor(pg)
+	if b < 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	fs.dev.ReadAt(dst, b)
+	if eofIn := ino.Size - pg*BlockSize; eofIn < BlockSize {
+		if eofIn < 0 {
+			eofIn = 0
+		}
+		for i := eofIn; i < BlockSize; i++ {
+			dst[i] = 0
+		}
+	}
 }
 
 // Entries builds the write log entries for the prepared write, one per
 // contiguous run. sn, when non-nil, stamps each entry with the DMA
 // descriptor SN assigned to that run (EasyIO's orderless operation).
 func (p *WritePrep) Entries(sn func(run int) (engine, ch int, sn uint64)) []*Entry {
-	entries := make([]*Entry, 0, len(p.Runs))
+	ar := p.ar
+	if ar == nil {
+		ar = tempArena()
+		p.ar = ar
+	}
+	entries := ar.entries[:0]
 	fileOff := p.FileOff
 	remaining := int64(len(p.Data))
 	// The first run's entry covers from the (possibly unaligned) FileOff.
@@ -138,7 +159,8 @@ func (p *WritePrep) Entries(sn func(run int) (engine, ch int, sn uint64)) []*Ent
 		if covered > remaining {
 			covered = remaining
 		}
-		e := &Entry{
+		e := ar.entry()
+		*e = Entry{
 			Type:     etWrite,
 			FileOff:  fileOff,
 			Size:     covered,
@@ -157,26 +179,32 @@ func (p *WritePrep) Entries(sn func(run int) (engine, ch int, sn uint64)) []*Ent
 		fileOff += covered
 		remaining -= covered
 	}
+	ar.entries = entries
 	return entries
 }
 
 // FinishWrite applies committed write entries to the DRAM index and frees
 // the replaced blocks. Call after CommitTail.
-func (fs *FS) FinishWrite(ino *Inode, entries []*Entry) {
-	fs.FreeRuns(fs.ApplyWriteEntries(ino, entries))
+func (fs *FS) FinishWrite(t *caladan.Task, ino *Inode, entries []*Entry) {
+	fs.FreeRuns(fs.ApplyWriteEntries(t, ino, entries))
 }
 
 // ApplyWriteEntries folds committed write entries into the DRAM index and
 // returns the replaced blocks WITHOUT freeing them. EasyIO defers the free
 // until the write's DMA lands: recovery of a crashed orderless write must
 // be able to fall back to the old blocks (§4.2).
-func (fs *FS) ApplyWriteEntries(ino *Inode, entries []*Entry) []Run {
-	var replaced []Run
+// The returned slice is arena scratch, valid until the task's next
+// operation (EasyIO consumes it from the completion callback before the
+// operation returns).
+func (fs *FS) ApplyWriteEntries(t *caladan.Task, ino *Inode, entries []*Entry) []Run {
+	ar := fs.arenaFor(t)
+	replaced := ar.replaced[:0]
 	for _, e := range entries {
-		replaced = append(replaced, ino.applyWriteEntry(e)...)
+		replaced = ino.applyWriteEntry(e, replaced)
 		fs.BytesWritten += e.Size
 	}
 	fs.OpsWrite++
+	ar.replaced = replaced
 	return replaced
 }
 
@@ -219,7 +247,9 @@ func (fs *FS) readLocked(t *caladan.Task, ino *Inode, off int64, buf []byte) (in
 	}
 	pages := perfmodel.Pages(int(n))
 	fs.Charge(t, fs.cpu.IndexBase+sim.Duration(pages)*fs.cpu.IndexPerPage+fs.cpu.TimestampUpdate)
-	runs := ino.ExtentRuns(off, n)
+	ar := fs.arenaFor(t)
+	runs := ino.ExtentRuns(ar.extents[:0], off, n)
+	ar.extents = runs
 	fs.mover.ReadData(t, fs, runs, ReadPlan{Off: off, N: n, Buf: buf[:n]})
 	fs.OpsRead++
 	fs.BytesRead += n
@@ -336,7 +366,7 @@ func (fs *FS) Truncate(t *caladan.Task, f *File, size int64) error {
 	}
 	ino.Size = size
 	if boundary != nil {
-		for _, old := range ino.applyWriteEntry(boundary) {
+		for _, old := range ino.applyWriteEntry(boundary, nil) {
 			fs.alloc.freeRun(old)
 		}
 		ino.Size = size // applyWriteEntry never shrinks

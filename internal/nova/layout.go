@@ -169,42 +169,52 @@ type Entry struct {
 
 // encode serializes the entry with a leading (type, length) header.
 func (e *Entry) encode() []byte {
-	body := make([]byte, 0, 96)
-	w8 := func(v uint64) { var b [8]byte; put8(b[:], v); body = append(body, b[:]...) }
+	return e.appendTo(nil)
+}
+
+// appendTo serializes the entry onto b (pass a reusable buffer's [:0] to
+// keep the log-append path allocation-free) and returns the grown slice.
+func (e *Entry) appendTo(b []byte) []byte {
+	start := len(b)
+	b = append(b, e.Type, 0, 0) // length patched below
 	switch e.Type {
 	case etWrite:
-		w8(uint64(e.FileOff))
-		w8(uint64(e.Size))
-		w8(uint64(e.BlockOff))
-		w8(uint64(e.Pages))
-		w8(e.Mtime)
+		b = append8(b, uint64(e.FileOff))
+		b = append8(b, uint64(e.Size))
+		b = append8(b, uint64(e.BlockOff))
+		b = append8(b, uint64(e.Pages))
+		b = append8(b, e.Mtime)
 		flags := byte(0)
 		if e.HasSN {
 			flags = 1
 		}
-		body = append(body, flags, e.EngineID, e.ChanID)
-		w8(e.SN)
+		b = append(b, flags, e.EngineID, e.ChanID)
+		b = append8(b, e.SN)
 	case etSetAttr:
-		w8(uint64(e.NewSize))
-		w8(e.Mtime)
+		b = append8(b, uint64(e.NewSize))
+		b = append8(b, e.Mtime)
 	case etDentryAdd, etDentryDel:
-		w8(uint64(e.Ino))
+		b = append8(b, uint64(e.Ino))
 		if len(e.Name) > MaxNameLen {
 			panic("nova: name too long")
 		}
-		body = append(body, byte(len(e.Name)))
-		body = append(body, e.Name...)
+		b = append(b, byte(len(e.Name)))
+		b = append(b, e.Name...)
 	case etLinkChange:
-		w8(uint64(uint32(e.LinkDelta)))
+		b = append8(b, uint64(uint32(e.LinkDelta)))
 	default:
 		panic(fmt.Sprintf("nova: encode of unknown entry type %d", e.Type))
 	}
-	out := make([]byte, 3+len(body))
-	out[0] = e.Type
-	out[1] = byte(len(body))
-	out[2] = byte(len(body) >> 8)
-	copy(out[3:], body)
-	return out
+	bodyLen := len(b) - start - 3
+	b[start+1] = byte(bodyLen)
+	b[start+2] = byte(bodyLen >> 8)
+	return b
+}
+
+// append8 appends v little-endian.
+func append8(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 // decodeEntry parses one entry at the head of b. It returns the entry and

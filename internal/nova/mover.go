@@ -57,7 +57,7 @@ func waitFlow(t *caladan.Task, fs *FS, spec pmem.FlowSpec) {
 		return
 	}
 	ut := t.UThread()
-	spec.OnDone = func() { ut.Wake() }
+	spec.OnDone = ut.WakeFn()
 	fs.dev.StartFlow(spec)
 	t.Wait()
 }

@@ -151,7 +151,7 @@ func (fs *FS) applyRecovered(ino *Inode, e Entry) {
 			return
 		}
 		ecopy := e
-		ino.applyWriteEntry(&ecopy) // replaced blocks implicitly freed by rebuild
+		ino.applyWriteEntry(&ecopy, nil) // replaced blocks implicitly freed by rebuild
 	case etSetAttr:
 		if e.NewSize < ino.Size {
 			firstDead := (e.NewSize + BlockSize - 1) / BlockSize

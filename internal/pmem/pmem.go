@@ -19,7 +19,6 @@ package pmem
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/easyio-sim/easyio/internal/invariants"
 	"github.com/easyio-sim/easyio/internal/perfmodel"
@@ -113,6 +112,20 @@ type Device struct {
 	pending sim.Timer
 	lastAdv sim.Time
 
+	// completeDueFn is the pre-bound completion callback recompute hands
+	// to eng.After; a method value there would allocate one bound-method
+	// closure per arbitration round (see //easyio:hotpath on recompute).
+	completeDueFn func()
+
+	// freeGroups recycles emptied arbitration groups (and their flows
+	// slice capacity): bursty traffic drains and re-forms groups
+	// constantly, and re-forming one must not allocate.
+	freeGroups []*dmaGroup
+	// freeFlows recycles Flow objects retired by completeDue; fired is
+	// its per-call scratch. Steady state starts flows from the pool.
+	freeFlows []*Flow
+	fired     []*Flow
+
 	// Incrementally maintained arbitration state: population counters and
 	// the ordered DMA (engine group, direction) set, updated on flow
 	// attach/detach so recompute never rebuilds or sorts them.
@@ -134,12 +147,14 @@ type Device struct {
 
 // New creates a device of the given byte size.
 func New(eng *sim.Engine, model perfmodel.Memory, size int64) *Device {
-	return &Device{
+	d := &Device{
 		eng:   eng,
 		model: model,
 		size:  size,
 		pages: make(map[int64]*[pageSize]byte),
 	}
+	d.completeDueFn = d.completeDue
+	return d
 }
 
 // Engine returns the simulation engine the device is bound to.
@@ -189,9 +204,7 @@ func (d *Device) WriteAt(off int64, b []byte) {
 		panic("pmem: persist record epoch regressed (fence ordering violated)")
 	}
 	if d.tracking {
-		cp := make([]byte, len(b))
-		copy(cp, b)
-		d.records = append(d.records, PersistRecord{Epoch: d.epoch, Off: off, Data: cp})
+		d.record(off, b)
 	}
 	for len(b) > 0 {
 		pg, po := off/pageSize, off%pageSize
@@ -201,13 +214,34 @@ func (d *Device) WriteAt(off int64, b []byte) {
 		}
 		p := d.pages[pg]
 		if p == nil {
-			p = new([pageSize]byte)
-			d.pages[pg] = p
+			p = d.addPage(pg)
 		}
 		copy(p[po:int(po)+n], b[:n])
 		b = b[n:]
 		off += int64(n)
 	}
+}
+
+// record captures one persist record for crash simulation. Tracking is a
+// crashmonkey-mode debugging aid, never on during steady-state serving,
+// and each record owns a copy of the store.
+//
+//easyio:coldpath (crash-simulation tracking; off in steady-state serving)
+func (d *Device) record(off int64, b []byte) {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	d.records = append(d.records, PersistRecord{Epoch: d.epoch, Off: off, Data: cp})
+}
+
+// addPage demand-allocates the backing page on first touch. Each page is
+// allocated once per device lifetime; the steady-state working set hits
+// the map.
+//
+//easyio:coldpath (first-touch demand paging; bounded by the device size)
+func (d *Device) addPage(pg int64) *[pageSize]byte {
+	p := new([pageSize]byte)
+	d.pages[pg] = p
+	return p
 }
 
 // Read8 reads a 64-bit little-endian value (used for completion buffers
@@ -249,20 +283,46 @@ func (d *Device) StartFlow(spec FlowSpec) *Flow {
 	if spec.Weight <= 0 {
 		spec.Weight = 1
 	}
-	f := &Flow{dev: d, spec: spec, remaining: float64(spec.Bytes)}
 	if spec.Bytes <= 0 {
-		f.done = true
-		d.eng.After(0, func() {
-			if spec.OnDone != nil {
-				spec.OnDone()
-			}
-		})
-		return f
+		return d.startZeroFlow(spec)
+	}
+	var f *Flow
+	if n := len(d.freeFlows); n > 0 {
+		f = d.freeFlows[n-1]
+		d.freeFlows[n-1] = nil
+		d.freeFlows = d.freeFlows[:n-1]
+		*f = Flow{dev: d, spec: spec, remaining: float64(spec.Bytes)}
+	} else {
+		f = newFlow(d, spec)
 	}
 	d.advance()
 	d.flows = append(d.flows, f)
 	d.attach(f)
 	d.recompute()
+	return f
+}
+
+// newFlow grows the flow population when the free list runs dry —
+// bounded by the peak concurrent-transfer count, after which StartFlow
+// recycles forever.
+//
+//easyio:coldpath (flow free-list refill; population reaches high water and stays there)
+func newFlow(d *Device, spec FlowSpec) *Flow {
+	return &Flow{dev: d, spec: spec, remaining: float64(spec.Bytes)}
+}
+
+// startZeroFlow completes a degenerate zero-length transfer on the next
+// event tick. Nothing on the steady-state data path issues empty
+// transfers (movers skip them before reaching the device).
+//
+//easyio:coldpath (degenerate zero-length transfer)
+func (d *Device) startZeroFlow(spec FlowSpec) *Flow {
+	f := &Flow{dev: d, spec: spec, done: true}
+	d.eng.After(0, func() {
+		if spec.OnDone != nil {
+			spec.OnDone()
+		}
+	})
 	return f
 }
 
@@ -293,8 +353,18 @@ type dmaGroup struct {
 // groupIndex binary-searches the ordered group set for key; found reports
 // whether the group at the returned insertion point matches.
 func (d *Device) groupIndex(key dmaKey) (int, bool) {
-	i := sort.Search(len(d.groups), func(i int) bool { return !d.groups[i].key.less(key) })
-	return i, i < len(d.groups) && d.groups[i].key == key
+	// Hand-rolled sort.Search: the closure form would allocate on every
+	// attach/detach, which sits on the arbitration hot path.
+	lo, hi := 0, len(d.groups)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.groups[mid].key.less(key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(d.groups) && d.groups[lo].key == key
 }
 
 // attach registers f with the incremental arbitration state (O(log k) in
@@ -311,11 +381,32 @@ func (d *Device) attach(f *Flow) {
 	key := dmaKey{f.spec.Group, f.spec.Write}
 	i, ok := d.groupIndex(key)
 	if !ok {
-		d.groups = append(d.groups, nil)
-		copy(d.groups[i+1:], d.groups[i:])
-		d.groups[i] = &dmaGroup{key: key}
+		d.insertGroup(i, key)
 	}
 	d.groups[i].flows = append(d.groups[i].flows, f)
+}
+
+// insertGroup materializes the (group, direction) arbitration domain at
+// insertion point i. Each domain is created on its first active flow;
+// with a fixed engine topology the set reaches its full population early
+// and detach keeps the emptied structs out of the order, so steady state
+// never re-enters this path for a busy domain... the group count is
+// bounded by 2x the engine-group count.
+//
+//easyio:coldpath (first-flow arbitration-domain setup; bounded by the engine topology)
+func (d *Device) insertGroup(i int, key dmaKey) {
+	var g *dmaGroup
+	if n := len(d.freeGroups); n > 0 {
+		g = d.freeGroups[n-1]
+		d.freeGroups[n-1] = nil
+		d.freeGroups = d.freeGroups[:n-1]
+		g.key = key
+	} else {
+		g = &dmaGroup{key: key}
+	}
+	d.groups = append(d.groups, nil)
+	copy(d.groups[i+1:], d.groups[i:])
+	d.groups[i] = g
 }
 
 // detach unregisters f, keeping the remaining flows' relative order.
@@ -342,6 +433,8 @@ func (d *Device) detach(f *Flow) {
 	}
 	if len(g.flows) == 0 {
 		d.groups = append(d.groups[:i], d.groups[i+1:]...)
+		g.flows = g.flows[:0]
+		d.freeGroups = append(d.freeGroups, g)
 	}
 }
 
@@ -500,6 +593,8 @@ func (d *Device) checkArbCounters() {
 // and the ordered DMA group set are maintained incrementally by
 // attach/detach, so each call is one allocation-free pass over the flows
 // — no map rebuild, no sort.
+//
+//easyio:hotpath (pmem bandwidth arbitration: runs on every flow attach/detach/completion)
 func (d *Device) recompute() {
 	d.pending.Stop()
 	d.pending = sim.Timer{}
@@ -594,14 +689,14 @@ func (d *Device) recompute() {
 		}
 	}
 	ns := sim.Duration(best*1e9) + 1 // round up to the next ns
-	d.pending = d.eng.After(ns, d.completeDue)
+	d.pending = d.eng.After(ns, d.completeDueFn)
 }
 
 // completeDue fires flows whose bytes have fully streamed.
 func (d *Device) completeDue() {
 	d.pending = sim.Timer{}
 	d.advance()
-	var fired []*Flow
+	fired := d.fired[:0]
 	rest := d.flows[:0]
 	for _, f := range d.flows {
 		if f.remaining <= 0.5 {
@@ -619,4 +714,14 @@ func (d *Device) completeDue() {
 			f.spec.OnDone()
 		}
 	}
+	// Retire fired flows to the free list. Callers either discard the
+	// *Flow immediately or (dma.Channel) drop their reference before the
+	// OnDone chain returns; cancelled flows never come back here, so a
+	// retained handle after Cancel stays valid.
+	for i, f := range fired {
+		*f = Flow{}
+		d.freeFlows = append(d.freeFlows, f)
+		fired[i] = nil
+	}
+	d.fired = fired[:0]
 }

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// TestRequestLifecycleNoAllocs is the dynamic backstop for the static
+// //easyio:hotpath contract on Server.Inject and Server.execute (and for
+// the dynamic-call summary holes the analyzer cannot traverse): in the
+// steady state of a serving run — request pool, per-uthread op scratch,
+// event freelist and all high-water buffers warmed — the full
+// admit/execute/complete lifecycle must not allocate per request. The
+// first half of the run is the warmup; the second half is measured with
+// the GC fenced off and must stay well under one allocation per arrival
+// (rare runtime-internal allocations, e.g. sudog growth, are tolerated;
+// the pre-scratch path cost dozens per request).
+func TestRequestLifecycleNoAllocs(t *testing.T) {
+	cfg := Config{
+		Cores:   2,
+		Seed:    7,
+		Warmup:  1 * sim.Millisecond,
+		Measure: 60 * sim.Millisecond,
+		Drain:   5 * sim.Millisecond,
+		Tenants: []TenantSpec{
+			webTenant(100_000),
+			{
+				Name:    "log",
+				Class:   core.ClassL,
+				Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 20_000},
+				Mix:     Mix{Name: "append", WriteSize: 8 << 10, WriteEvery: 1},
+			},
+		},
+	}
+	cfg = cfg.withDefaults()
+	// Small device, every page pre-touched: the rotating block allocator
+	// sweeps the whole device before reusing blocks, so on a large device
+	// first-touch demand paging (a once-per-page cost, not lifecycle
+	// churn) would dominate the window. Pre-touching retires it up front.
+	const devSize = 64 << 20
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), devSize)
+	opts := core.Options{Nova: nova.Options{NumInodes: 512, EphemeralData: true}}
+	if err := core.Format(dev, opts); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mount(dev, core.NewEngines(dev, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := caladan.New(eng, caladan.Options{Cores: cfg.Cores, Seed: cfg.Seed})
+	t.Cleanup(eng.Shutdown)
+	touch := make([]byte, 1<<20)
+	for off := int64(0); off < devSize; off += int64(len(touch)) {
+		dev.ReadAt(touch, off) // read-back keeps mounted state intact
+		dev.WriteAt(off, touch)
+	}
+	dev.Fence()
+	s, err := New(eng, rt, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartArrivals()
+	s.StartManager()
+
+	mid := sim.Time(cfg.Warmup + cfg.Measure/2)
+	eng.RunUntil(mid)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	eng.RunUntil(s.End())
+	runtime.ReadMemStats(&after)
+
+	res := s.Finish()
+	var completed int64
+	for _, tr := range res.Tenants {
+		completed += tr.Completed
+	}
+	if completed < 1000 {
+		t.Fatalf("run too small to judge: %d completed requests", completed)
+	}
+	allocs := int64(after.Mallocs - before.Mallocs)
+	perReq := float64(allocs) / float64(completed)
+	t.Logf("%d allocations over >=%d requests (%.3f per request)", allocs, completed, perReq)
+	if perReq > 0.1 {
+		t.Fatalf("steady-state request lifecycle allocates %.3f times per request (%d allocs, %d requests)",
+			perReq, allocs, completed)
+	}
+}

@@ -380,20 +380,24 @@ func New(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Server
 func (s *Server) StartArrivals() {
 	for _, tn := range s.tenants {
 		tn := tn
-		var sched func(at sim.Time)
-		sched = func(at sim.Time) {
-			s.eng.At(at, func() {
-				s.onArrival(tn)
-				nxt := at + sim.Time(tn.spec.Arrival.next(tn.garr, at))
-				if nxt < s.end {
-					sched(nxt)
-				}
-			})
+		// One closure and one next-arrival cell per tenant for the whole
+		// run: the chain reschedules itself, so per-arrival scheduling
+		// allocates nothing.
+		var at sim.Time
+		var fire func()
+		fire = func() {
+			s.onArrival(tn)
+			nxt := at + sim.Time(tn.spec.Arrival.next(tn.garr, at))
+			if nxt < s.end {
+				at = nxt
+				s.eng.At(nxt, fire)
+			}
 		}
 		start := s.warmEnd - sim.Time(s.cfg.Warmup)
 		first := start + sim.Time(tn.spec.Arrival.next(tn.garr, start))
 		if first < s.end {
-			sched(first)
+			at = first
+			s.eng.At(first, fire)
 		}
 	}
 }
@@ -433,6 +437,8 @@ func (s *Server) onArrival(tn *tenant) {
 // request's birth time (the router's send instant, so reported latency
 // is end-to-end including the link); it must not be after the node's
 // now. Returns whether the request was admitted. Event context only.
+//
+//easyio:hotpath (service request admission: one call per arrival)
 func (s *Server) Inject(ti int, arrive sim.Time, measured bool) bool {
 	tn := s.tenants[ti]
 	if measured {
@@ -476,6 +482,8 @@ func (s *Server) workerLoop(task *caladan.Task, id, maxRead, maxWrite int) {
 }
 
 // execute performs one request's filesystem work and accounting.
+//
+//easyio:hotpath (service request execution: the per-request FS + accounting path)
 func (s *Server) execute(task *caladan.Task, req *request, rbuf, wbuf []byte) {
 	tn := req.tn
 	mix := tn.spec.Mix
@@ -533,6 +541,15 @@ func (s *Server) allocReq() *request {
 		r.next = nil
 		return r
 	}
+	return newRequest()
+}
+
+// newRequest grows the request population when the free list runs dry —
+// bounded by the peak in-flight request count, after which allocReq
+// recycles forever.
+//
+//easyio:coldpath (request free-list refill; population reaches high water and stays there)
+func newRequest() *request {
 	return &request{}
 }
 

@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+// TestWheelNoAllocs pins the schedule/fire contract the noalloc analyzer
+// certifies statically for the //easyio:hotpath roots wheel.insert and
+// wheel.advance: once the event freelist and wheel slots reach their
+// high-water marks, a schedule-then-fire cycle performs no heap
+// allocation. The delays sweep several wheel levels plus the far-future
+// overflow heap, so cascading and heap maintenance are in the loop too.
+func TestWheelNoAllocs(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Shutdown()
+	fn := func() {}
+	delays := []Duration{
+		1, 3, 100, 255, // level 0
+		300, 4 << 10, // level 1
+		1 << 20, // higher level
+		1 << 30, // beyond the wheel horizon: overflow heap
+	}
+	cycle := func() {
+		for _, d := range delays {
+			eng.After(d, fn)
+		}
+		eng.RunFor(1 << 31)
+	}
+	// Warm the freelist, slot slices and overflow heap to high water.
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	if a := testing.AllocsPerRun(100, cycle); a != 0 {
+		t.Fatalf("timer-wheel schedule/fire allocates %.1f times per cycle", a)
+	}
+}

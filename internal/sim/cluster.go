@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -98,6 +97,9 @@ type Cluster struct {
 	workers int
 	ran     bool
 	panics  []clusterPanic
+	// merge is deliver's reusable merge buffer; steady-state rounds must
+	// not allocate per handoff (see //easyio:hotpath on deliver).
+	merge []handoff
 }
 
 type clusterPanic struct {
@@ -313,8 +315,10 @@ func (c *Cluster) Run() {
 // deliver merges every outbox in (arrival, src, seq) order and schedules
 // the handoffs into their destination engines. Runs on the coordinator
 // between rounds.
+//
+//easyio:hotpath (cluster handoff merge: every cross-domain message funnels through here)
 func (c *Cluster) deliver() {
-	var all []handoff
+	all := c.merge[:0]
 	for _, d := range c.domains {
 		all = append(all, d.outbox...)
 		for i := range d.outbox {
@@ -323,18 +327,10 @@ func (c *Cluster) deliver() {
 		d.outbox = d.outbox[:0]
 	}
 	if len(all) == 0 {
+		c.merge = all
 		return
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		return a.seq < b.seq
-	})
+	sortHandoffs(all)
 	for i, h := range all {
 		if invariants.Enabled {
 			if i > 0 {
@@ -348,6 +344,54 @@ func (c *Cluster) deliver() {
 			}
 		}
 		c.domains[h.dst].eng.At(h.at, h.fn)
+	}
+	// Drop the closure references before parking the buffer, or the
+	// scratch would pin every delivered handoff until the next round.
+	for i := range all {
+		all[i].fn = nil
+	}
+	c.merge = all
+}
+
+// handoffLess is deliver's merge order: (arrival, src, seq). seq is
+// unique per src, so this is a total order and sort stability is moot.
+func handoffLess(a, b handoff) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// sortHandoffs heap-sorts in place. sort.Slice would allocate its
+// closure on every round; this keeps deliver allocation-free.
+func sortHandoffs(hs []handoff) {
+	n := len(hs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftHandoff(hs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		hs[0], hs[i] = hs[i], hs[0]
+		siftHandoff(hs, 0, i)
+	}
+}
+
+func siftHandoff(hs []handoff, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && handoffLess(hs[child], hs[child+1]) {
+			child++
+		}
+		if !handoffLess(hs[root], hs[child]) {
+			return
+		}
+		hs[root], hs[child] = hs[child], hs[root]
+		root = child
 	}
 }
 

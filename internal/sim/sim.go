@@ -192,7 +192,7 @@ func (e *Engine) alloc(t Time) *event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = new(event)
+		ev = newEvent()
 	}
 	e.seq++
 	ev.t = t
@@ -203,9 +203,20 @@ func (e *Engine) alloc(t Time) *event {
 	return ev
 }
 
+// newEvent grows the event population when the free list runs dry — a
+// high-water event, not steady state: once the pool matches the peak
+// in-flight count, alloc recycles forever.
+//
+//easyio:coldpath (event free-list refill; population reaches high water and stays there)
+func newEvent() *event {
+	return new(event)
+}
+
 // compact sweeps cancelled events out of the wheel and overflow heap. Pop
 // order is fully determined by the (time, seq) total order over live
 // events, so compaction is temporally invisible.
+//
+//easyio:coldpath (cancellation-churn maintenance; runs only after 64+ dead events pile up)
 func (e *Engine) compact() {
 	e.q.sweepDead(func(ev *event) {
 		e.dead--
@@ -284,6 +295,8 @@ func (t Timer) Stop() bool {
 
 // step runs the earliest pending event. It reports false if none remain or
 // the engine was stopped.
+//
+//easyio:hotpath (sim event dispatch: every event in every run goes through here)
 func (e *Engine) step(deadline Time, bounded bool) bool {
 	for {
 		ev := e.q.peek(deadline, bounded)
@@ -501,8 +514,7 @@ func (p *Proc) Resume() bool {
 		panic("sim: Resume on running proc " + p.name)
 	case procNew:
 		p.state = procRunning
-		//easyio:allow nakedgo (the one sanctioned goroutine: Proc coroutine backing; *Proc is shared-guarded — every handoff crosses the resume/yield channels, so scheduler and coroutine never touch it concurrently)
-		go p.main()
+		p.start()
 	case procPaused:
 		p.state = procRunning
 		p.resume <- false
@@ -512,6 +524,16 @@ func (p *Proc) Resume() bool {
 		p.eng.running = nil
 	}
 	return p.state != procDone
+}
+
+// start launches the coroutine backing on first resume. Spawning a
+// goroutine allocates its stack, so this lives behind //easyio:coldpath:
+// it happens once per proc lifetime, never in steady state.
+//
+//easyio:coldpath (one-time coroutine-backing launch per proc)
+func (p *Proc) start() {
+	//easyio:allow nakedgo (the one sanctioned goroutine: Proc coroutine backing; *Proc is shared-guarded — every handoff crosses the resume/yield channels, so scheduler and coroutine never touch it concurrently)
+	go p.main()
 }
 
 func (p *Proc) main() {

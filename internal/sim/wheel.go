@@ -84,6 +84,8 @@ func (w *wheel) init() {
 
 // insert files ev by its delta from the cursor. Callers guarantee
 // ev.t >= cursor (alloc clamps to now, and now never trails the cursor).
+//
+//easyio:hotpath (timer-wheel schedule: one call per event scheduled)
 func (w *wheel) insert(ev *event) {
 	w.n++
 	if w.solo != nil {
@@ -167,6 +169,8 @@ func (w *wheel) popDue() {
 // advance moves the cursor to the next populated tick and loads it into
 // due. It reports false when nothing (eligible) remains; a bounded miss
 // leaves the cursor at limit so the engine's clock and the wheel agree.
+//
+//easyio:hotpath (timer-wheel fire: one call per dispatched tick)
 func (w *wheel) advance(limit Time, bounded bool) bool {
 	w.due = w.due[:0]
 	w.dueIdx = 0
@@ -271,14 +275,21 @@ func (w *wheel) cascadePass() {
 }
 
 // loadDue moves level-0 slot s (holding exactly the events of tick) into
-// the due buffer in seq order. The consumed due backing (entries nil'd by
-// popDue) is recycled as the slot's storage, so the hot path never copies.
+// the due buffer in seq order. The events are copied (a handful of
+// pointers) rather than the backings swapped: a swap would hand the
+// slot's grown backing to due and leave the slot with whatever due last
+// held, so neither capacity ever converges and busy ticks reallocate
+// forever; with the copy both high-water marks stabilize.
 func (w *wheel) loadDue(tick Time, s int) {
 	w.bitmap[0][s>>6] &^= 1 << uint(s&63)
 	list := w.slot[0][s]
-	w.slot[0][s] = w.due[:0]
-	sortEventsBySeq(list)
-	w.due = list
+	due := append(w.due[:0], list...)
+	for i := range list {
+		list[i] = nil
+	}
+	w.slot[0][s] = list[:0]
+	sortEventsBySeq(due)
+	w.due = due
 	w.dueIdx = 0
 	w.dueTime = tick
 	if invariants.Enabled {

@@ -62,6 +62,8 @@ func histUpper(i int) sim.Duration {
 
 // Add records one sample. Negative samples clamp to zero (virtual-time
 // latencies are never negative; clamping keeps the bucket math total).
+//
+//easyio:hotpath (one call per completed request)
 func (h *Hist) Add(d sim.Duration) {
 	if d < 0 {
 		d = 0
