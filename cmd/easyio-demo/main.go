@@ -99,6 +99,7 @@ func demoCrashRecovery() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	got := make([]byte, 1)
 	must(sys2.FS.FS.ReadAt(nil, f, 0, got))
 	fmt.Printf("   after crash mid-DMA, recovery exposes the %c version (SN not durable -> entry discarded)\n", got[0])

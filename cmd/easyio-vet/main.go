@@ -49,6 +49,18 @@ type jsonFinding struct {
 	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Trace is the typestate protocol state trace leading to the finding
+	// (creation site, each transition, the violating op), oldest first;
+	// absent for non-typestate analyzers.
+	Trace []jsonTraceStep `json:"trace,omitempty"`
+}
+
+// jsonTraceStep is one step of a typestate trace in -json output.
+type jsonTraceStep struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Desc   string `json:"desc"`
 }
 
 // benchReport is the BENCH_vet.json shape: enough to track the vet's own
@@ -60,6 +72,10 @@ type benchReport struct {
 	CacheMisses int     `json:"cache_misses"`
 	Findings    int     `json:"findings"`
 	Workers     int     `json:"workers"`
+	// Analyzers breaks the run down per analyzer in milliseconds
+	// (typestate analyzers include their engine precomputation); near
+	// empty on a fully warm run, where nothing is re-analyzed.
+	Analyzers map[string]float64 `json:"analyzers"`
 }
 
 func main() {
@@ -77,7 +93,11 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			if states, trans, ok := analysis.ProtocolStats(a.Name); ok {
+				fmt.Printf("%-14s %s [typestate: %d states, %d transitions]\n", a.Name, a.Doc, states, trans)
+			} else {
+				fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			}
 		}
 		return
 	}
@@ -141,13 +161,22 @@ func main() {
 	if *asJSON {
 		out := make([]jsonFinding, 0, len(diags))
 		for _, d := range diags {
-			out = append(out, jsonFinding{
+			f := jsonFinding{
 				File:     d.Pos.Filename,
 				Line:     d.Pos.Line,
 				Column:   d.Pos.Column,
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
-			})
+			}
+			for _, s := range d.Trace {
+				f.Trace = append(f.Trace, jsonTraceStep{
+					File:   s.Pos.Filename,
+					Line:   s.Pos.Line,
+					Column: s.Pos.Column,
+					Desc:   s.Desc,
+				})
+			}
+			out = append(out, f)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -185,6 +214,7 @@ func main() {
 			CacheMisses: res.CacheMisses,
 			Findings:    len(diags),
 			Workers:     *parallel,
+			Analyzers:   res.AnalyzerMS,
 		}
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -242,10 +272,15 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// RelatedLocations is the typestate protocol trace — creation site
+	// and each state transition leading to the violation, oldest first —
+	// so SARIF viewers render the path, not just the endpoint.
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
 }
 
 type sarifPhysical struct {
@@ -268,23 +303,35 @@ func writeSARIF(path, root string, analyzers []*analysis.Analyzer, diags []analy
 		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	relURI := func(filename string) string {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filename
+	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
-		uri := d.Pos.Filename
-		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
-			uri = filepath.ToSlash(rel)
-		}
-		results = append(results, sarifResult{
+		r := sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "error",
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: uri},
+					ArtifactLocation: sarifArtifact{URI: relURI(d.Pos.Filename)},
 					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 				},
 			}},
-		})
+		}
+		for _, s := range d.Trace {
+			r.RelatedLocations = append(r.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relURI(s.Pos.Filename)},
+					Region:           sarifRegion{StartLine: s.Pos.Line, StartColumn: s.Pos.Column},
+				},
+				Message: &sarifMessage{Text: s.Desc},
+			})
+		}
+		results = append(results, r)
 	}
 	log := sarifLog{
 		Version: "2.1.0",

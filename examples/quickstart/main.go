@@ -35,6 +35,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer f.Close()
 
 		payload := make([]byte, 256<<10)
 		for i := range payload {

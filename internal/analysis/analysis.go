@@ -39,11 +39,24 @@
 //	              a hot root, even when amortized
 //	hotpathcover  - required hot roots are annotated; every hotpath and
 //	              coldpath annotation is live (staleallow for perf)
+//	svclifecycle  - service.Server lifecycle automaton (New -> StartArrivals
+//	              -> StartManager -> Inject* -> End -> Finish)
+//	horizonproto  - cluster horizon protocol (topology before Run, Send
+//	              only under a granted horizon, no Send after Shutdown)
+//	epochbudget   - channel-manager epoch budget (RegisterLApp before
+//	              Start, Report only while running, Stop once)
+//	handlestate   - fsapi/nova handles: Open -> use -> Close, no
+//	              use-after-close, close on all paths
 //
-// persistorder/fencehygiene/recoverypurity ride on the persistence
-// dataflow engine (dataflow.go): a path-sensitive walker abstracts each
-// function into a persistence automaton (pending-store set, fence state,
-// commit points) propagated bottom-up over the call-graph SCCs.
+// svclifecycle/horizonproto/epochbudget/handlestate/persistorder are
+// declarative specs on the typestate protocol engine (typestate.go,
+// protocols.go): lifecycle automata declared as data, checked by
+// per-path abstract interpretation with per-function ProtocolSummary
+// facts propagated bottom-up over the call-graph SCCs; findings carry
+// the concrete state trace. fencehygiene/recoverypurity ride on the
+// persistence dataflow engine (dataflow.go): a path-sensitive walker
+// abstracts each function into a persistence automaton (pending-store
+// set, fence state) propagated bottom-up over the call-graph SCCs.
 //
 // lockorder/confinement/atomichygiene are *global* analyzers
 // (Analyzer.Global): their findings are a property of the whole module,
@@ -69,6 +82,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Trace is the concrete protocol state trace leading to a typestate
+	// finding (empty for other analyzers); the CLI renders it as a
+	// SARIF relatedLocations chain.
+	Trace []TraceStep
 }
 
 func (d Diagnostic) String() string {
@@ -108,6 +125,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportTrace records a finding with an attached protocol state trace.
+func (p *Pass) reportTrace(pos token.Pos, msg string, trace []TraceStep) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+		Trace:    trace,
+	})
+}
+
 // All returns the full analyzer registry in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -116,6 +143,7 @@ func All() []*Analyzer {
 		PersistOrder, FenceHygiene, RecoveryPurity,
 		LockOrder, Confinement, AtomicHygiene,
 		NoAlloc, Boxing, HotPathCover,
+		SvcLifecycle, HorizonProto, EpochBudget, HandleState,
 	}
 }
 

@@ -44,8 +44,9 @@ import (
 
 // cacheVersion invalidates every entry when the analyzer semantics or
 // the entry format change. v2: global-analyzer entries (runner.go) and
-// LRU eviction.
-const cacheVersion = "easyio-vet-v2"
+// LRU eviction. v3: typestate protocol findings (with traces) in the
+// entries, and the protocol-spec fingerprint in the key prelude.
+const cacheVersion = "easyio-vet-v3"
 
 // defaultCacheEntries bounds the cache directory: edits churn closure
 // hashes, so without a cap the directory grows by a few entries per
@@ -231,8 +232,12 @@ func cacheKeys(pkgs []*Package, analyzers []*Analyzer) (map[*Package]string, str
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	// The protocol-spec fingerprint makes the typestate specs part of the
+	// key: editing a state, transition, or matcher in protocols.go
+	// invalidates every warm entry, exactly like an analyzer code change.
 	prelude := cacheVersion + "\x00" + strings.Join(names, ",") + "\x00" +
-		strings.Join(paths, ",") + "\x00" + ifaceNamesHash(pkgs) + "\x00"
+		strings.Join(paths, ",") + "\x00" + ifaceNamesHash(pkgs) + "\x00" +
+		TypestateFingerprint() + "\x00"
 
 	globalKey := ""
 	{

@@ -96,3 +96,35 @@ func TestCacheDefaultCapBoundsRealRun(t *testing.T) {
 		t.Fatalf("OpenCache default cap = %d, want %d", OpenCache(dir).maxEntries, defaultCacheEntries)
 	}
 }
+
+// TestCacheKeyIncludesProtocolSpecs proves a protocol-spec edit
+// invalidates warm cache entries: the typestate fingerprint is folded
+// into every key's prelude, so adding a transition to a declared
+// automaton changes both the per-package and the module-global key.
+func TestCacheKeyIncludesProtocolSpecs(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "fixture.go")
+	src := "package fx\n\nfunc F() {}\n"
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := fixturePkgFile(t, "fx", file, src)
+
+	before, gBefore := cacheKeys([]*Package{pkg}, All())
+	if before[pkg] == "" || gBefore == "" {
+		t.Fatalf("disk-backed fixture produced empty cache keys (%q, %q)", before[pkg], gBefore)
+	}
+
+	op := &svcLifecycleProtocol.Ops[3]
+	saved := op.Trans
+	op.Trans = append([][2]string{{"ending", "running"}}, saved...)
+	defer func() { op.Trans = saved }()
+
+	after, gAfter := cacheKeys([]*Package{pkg}, All())
+	if after[pkg] == before[pkg] {
+		t.Errorf("per-package cache key unchanged after protocol-spec edit: %q", after[pkg])
+	}
+	if gAfter == gBefore {
+		t.Errorf("module-global cache key unchanged after protocol-spec edit: %q", gAfter)
+	}
+}

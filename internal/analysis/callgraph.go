@@ -59,6 +59,10 @@ type ModuleInfo struct {
 	// perf-contract analyzers (noalloc, boxing, hotpathcover) replay and
 	// BuildPartition renders (noalloc.go).
 	hot *moduleHot
+	// typestate holds the per-protocol results of the declarative
+	// typestate engine (typestate.go), one entry per registered
+	// protocol, in Protocols() order.
+	typestate []*protoResult
 
 	pkgs      []*Package
 	pkgPaths  map[string]bool
@@ -148,6 +152,7 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	computeConfinement(mod)
 	computeAtomicHygiene(mod)
 	computeHotPaths(mod)
+	computeTypestate(mod)
 	// Precompute the lazily memoized views so Pass.Mod is read-only
 	// during (possibly parallel) analyzer execution.
 	mod.fsMethodNames()

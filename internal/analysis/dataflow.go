@@ -16,11 +16,12 @@ package analysis
 //	X.WriteAt(off, b) / X.Write8(off, v)  with X of type Device — a store
 //	X.Fence()                             with X of type Device — a fence
 //
-// A store is a *commit point* when it executes inside a function named
-// CommitTail or when its offset expression references JournalOff or
-// SuperOff (the journal-commit and superblock writes). Fences are
-// device-global: any fence — including one inside a callee — persists
-// every pending store in the caller too.
+// Fences are device-global: any fence — including one inside a callee —
+// persists every pending store in the caller too. Commit-point
+// classification (CommitTail writes, JournalOff/SuperOff stores) moved
+// to the typestate engine's declarative persistorder spec
+// (persistorder.go); this walker retains only the fence/pending facts
+// fencehygiene consumes.
 //
 // Conservative blind spots, by construction (documented in DESIGN.md §7):
 // dynamic dispatch (interface calls, func values) may store or fence, so
@@ -49,20 +50,6 @@ type StoreSite struct {
 	Desc string
 }
 
-// CommitSite identifies one commit-point store.
-type CommitSite struct {
-	Pos  token.Pos
-	Desc string
-}
-
-// UnfencedCommit is one persist-order violation: a commit point executed
-// while stores were still pending (no Fence between store and commit on
-// some path).
-type UnfencedCommit struct {
-	Stores []StoreSite
-	Commit CommitSite
-}
-
 // PersistSummary is the persistence automaton of one function (or
 // function literal), including effects of statically resolved callees.
 type PersistSummary struct {
@@ -81,16 +68,9 @@ type PersistSummary struct {
 	CleanExit bool
 	// PendingAtExit: stores that may still be unfenced at some normal
 	// exit — the caller (or, at a call-graph root, nobody) must fence.
+	// (Commit-point classification lives in the typestate engine's
+	// persistorder spec since the migration; see persistorder.go.)
 	PendingAtExit []StoreSite
-	// Commits: commit-point stores executed directly in this function.
-	Commits []CommitSite
-	// CommitNoPriorFence: commit points reachable with no Fence since
-	// function entry — a caller with pending stores at the call site
-	// would commit them unfenced.
-	CommitNoPriorFence []CommitSite
-	// Unfenced: persist-order violations local to this function's walk
-	// (including call sites whose callee commits under entry-pending).
-	Unfenced []UnfencedCommit
 	// Redundant: Fence calls that are provably back-to-back — the device
 	// was already clean on every path reaching them.
 	Redundant []token.Pos
@@ -117,13 +97,6 @@ func (s *PersistSummary) fingerprint() string {
 		b.WriteString(strconv.Itoa(int(p.Pos)))
 		b.WriteString(",")
 	}
-	b.WriteString("|")
-	for _, c := range s.CommitNoPriorFence {
-		b.WriteString(strconv.Itoa(int(c.Pos)))
-		b.WriteString(",")
-	}
-	b.WriteString("|")
-	b.WriteString(strconv.Itoa(len(s.Unfenced)))
 	b.WriteString("|")
 	b.WriteString(strconv.Itoa(len(s.Redundant)))
 	return b.String()
@@ -477,26 +450,6 @@ func (w *pWalker) isDevice(expr ast.Expr) bool {
 	return namedTypeIs(tv.Type, "Device")
 }
 
-// isCommitStore classifies a device store as a commit point: any store
-// inside a function named CommitTail, or a store whose offset argument
-// references JournalOff or SuperOff.
-func (w *pWalker) isCommitStore(call *ast.CallExpr) bool {
-	if !w.sum.Lit && w.node.Decl.Name.Name == "CommitTail" {
-		return true
-	}
-	if len(call.Args) == 0 {
-		return false
-	}
-	commit := false
-	ast.Inspect(call.Args[0], func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && (id.Name == "JournalOff" || id.Name == "SuperOff") {
-			commit = true
-		}
-		return true
-	})
-	return commit
-}
-
 func (w *pWalker) call(call *ast.CallExpr, st *pState) {
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
@@ -557,16 +510,6 @@ func (w *pWalker) fence(pos token.Pos, st *pState) {
 func (w *pWalker) store(call *ast.CallExpr, sel *ast.SelectorExpr, st *pState) {
 	w.sum.Stores = true
 	desc := exprString(sel.X) + "." + sel.Sel.Name
-	if w.isCommitStore(call) {
-		cs := CommitSite{Pos: call.Pos(), Desc: desc}
-		w.sum.Commits = append(w.sum.Commits, cs)
-		if len(st.pending) > 0 {
-			w.addUnfenced(st.pending, cs)
-		}
-		if !st.fenced {
-			w.addCommitNoPriorFence(cs)
-		}
-	}
 	st.pending = addSite(st.pending, StoreSite{Pos: call.Pos(), Desc: desc})
 	st.clean = false
 }
@@ -580,17 +523,6 @@ func (w *pWalker) applyCallee(call *ast.CallExpr, fn *types.Func, ps *PersistSum
 	}
 	if ps.MayFence {
 		w.sum.MayFence = true
-	}
-	if len(ps.CommitNoPriorFence) > 0 {
-		if len(st.pending) > 0 {
-			w.addUnfenced(st.pending, CommitSite{
-				Pos:  call.Pos(),
-				Desc: "call to " + fn.Name() + " (commits before its first fence)",
-			})
-		}
-		if !st.fenced {
-			w.addCommitNoPriorFence(CommitSite{Pos: call.Pos(), Desc: "commit inside " + fn.Name()})
-		}
 	}
 	if ps.MustFence {
 		st.fenced = true
@@ -647,26 +579,6 @@ func (w *pWalker) deferCall(call *ast.CallExpr, st *pState) {
 		return
 	}
 	w.defers = append(w.defers, pDefer{mayTouch: true})
-}
-
-func (w *pWalker) addUnfenced(pending []StoreSite, commit CommitSite) {
-	for _, u := range w.sum.Unfenced {
-		if u.Commit.Pos == commit.Pos {
-			return
-		}
-	}
-	stores := make([]StoreSite, len(pending))
-	copy(stores, pending)
-	w.sum.Unfenced = append(w.sum.Unfenced, UnfencedCommit{Stores: stores, Commit: commit})
-}
-
-func (w *pWalker) addCommitNoPriorFence(cs CommitSite) {
-	for _, c := range w.sum.CommitNoPriorFence {
-		if c.Pos == cs.Pos {
-			return
-		}
-	}
-	w.sum.CommitNoPriorFence = append(w.sum.CommitNoPriorFence, cs)
 }
 
 func (w *pWalker) addRedundant(pos token.Pos) {

@@ -62,3 +62,44 @@ func TestProblemMatcherCoversRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestMatcherTypestateNames locks the typestate analyzers into the
+// registry/matcher lockstep: each protocol-backed analyzer must be
+// registered exactly once, report protocol stats for -list, and its
+// rendered violation (which embeds "; rationale" text) must still pass
+// the problem matcher with the name captured as the code group.
+func TestMatcherTypestateNames(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "easyio-vet-matcher.json"))
+	if err != nil {
+		t.Fatalf("read matcher config: %v", err)
+	}
+	var cfg matcherConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatalf("parse matcher config: %v", err)
+	}
+	pat := cfg.ProblemMatcher[0].Pattern[0]
+	re := regexp.MustCompile(pat.Regexp)
+	for _, name := range []string{"svclifecycle", "horizonproto", "epochbudget", "handlestate", "persistorder"} {
+		seen := 0
+		for _, a := range All() {
+			if a.Name == name {
+				seen++
+			}
+		}
+		if seen != 1 {
+			t.Errorf("typestate analyzer %q registered %d times, want 1", name, seen)
+		}
+		if _, _, ok := ProtocolStats(name); !ok {
+			t.Errorf("typestate analyzer %q reports no protocol stats for -list", name)
+		}
+		line := fmt.Sprintf("internal/service/service.go:17:3: %s: s.Inject called in state ending (legal in: running); requests may only be injected while running", name)
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("analyzer %q: typestate diagnostic %q does not match the problem matcher", name, line)
+			continue
+		}
+		if got := m[pat.Code]; got != name {
+			t.Errorf("analyzer %q: matcher code group captured %q", name, got)
+		}
+	}
+}

@@ -35,6 +35,11 @@ type PartitionReport struct {
 	// CI diffs this section, so a root regressing to "allocating" — or an
 	// amortized/dynamic-call count creeping up — is visible in review.
 	HotPaths []HotRootStatus `json:"hot_paths"`
+	// Protocols certifies each typestate automaton module-wide: states,
+	// transitions, and pre-suppression finding count. CI requires every
+	// protocol "clean", so a lifecycle regression shows up in the diff
+	// even when it is suppressed at the site.
+	Protocols []ProtocolStatus `json:"protocols"`
 }
 
 // PartitionType is one classified type with its evidence chain.
@@ -66,7 +71,7 @@ type PartitionLockEdge struct {
 	At   string `json:"at"`
 }
 
-const partitionVersion = "easyio-partition-v2"
+const partitionVersion = "easyio-partition-v3"
 
 // BuildPartition renders the concurrency partition of a built module.
 // Positions are root-relative so the report is stable across checkouts.
@@ -123,6 +128,7 @@ func BuildPartition(mod *ModuleInfo, root string) *PartitionReport {
 	}
 	rep.LockOrder = lo
 	rep.HotPaths = mod.HotRoots()
+	rep.Protocols = mod.ProtocolStatuses()
 	return rep
 }
 

@@ -1,6 +1,10 @@
 package analysis
 
-import "strings"
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
 
 // PersistOrder verifies the store→Fence→commit protocol every
 // crash-consistent path in this reproduction hand-rolls: a persistent
@@ -12,40 +16,64 @@ import "strings"
 // §4). The check is interprocedural: a callee that commits before its
 // first fence is a violation at any call site with pending stores.
 //
+// Since the typestate engine landed, the check is a declarative
+// may-mode spec (persistProtocol) on that engine rather than a bespoke
+// traversal; its messages and findings are unchanged.
+//
 // internal/pmem is exempt: it implements the device, so its internal
 // stores are the primitives themselves, not protocol uses.
 var PersistOrder = &Analyzer{
 	Name: "persistorder",
 	Doc:  "persistent stores must be fenced before any commit-point write (store -> Fence -> commit)",
-	Run:  runPersistOrder,
+	Run:  runProtocol("persistorder"),
+}
+
+// persistProtocol is the persistence automaton as a typestate spec. May
+// mode: a violation is "some path reaches a commit point with pending
+// (unfenced) stores", so pending-site traces union at joins and loops
+// analyze body-once + zero-iteration merge — the engine reproduces the
+// retired dataflow traversal byte-for-byte.
+var persistProtocol = &Protocol{
+	Name:            "persistorder",
+	Doc:             PersistOrder.Doc,
+	Object:          "pmem.Device",
+	States:          []string{"start", "dirty", "fenced", "fdirty"},
+	Entry:           "start",
+	May:             true,
+	LoopOnce:        true,
+	ExemptPkgs:      []string{"internal/pmem"},
+	CallViolDesc:    "call to %s (commits before its first fence)",
+	CallPendingDesc: "store(s) inside %s",
+	Render:          renderPersistViolation,
+	Ops: []ProtoOp{
+		{Name: "Fence", Recv: "Device", NArgs: 0, Clears: true,
+			Trans: [][2]string{{"start", "fenced"}, {"dirty", "fenced"}, {"fenced", "fenced"}, {"fdirty", "fenced"}},
+			Msg:   "a fence persists every pending store"},
+		{Name: "WriteAt", Recv: "Device", NArgs: anyArgs, Logged: true,
+			Commit: &CommitCond{FuncName: "CommitTail", ArgIdents: []string{"JournalOff", "SuperOff"}},
+			Trans:  [][2]string{{"start", "dirty"}, {"dirty", "dirty"}, {"fenced", "fdirty"}, {"fdirty", "fdirty"}},
+			Msg:    "a store joins the pending set until the next fence"},
+		{Name: "Write8", Recv: "Device", NArgs: anyArgs, Logged: true,
+			Commit: &CommitCond{FuncName: "CommitTail", ArgIdents: []string{"JournalOff", "SuperOff"}},
+			Trans:  [][2]string{{"start", "dirty"}, {"dirty", "dirty"}, {"fenced", "fdirty"}, {"fdirty", "fdirty"}},
+			Msg:    "a store joins the pending set until the next fence"},
+	},
+}
+
+// renderPersistViolation formats a persist-order finding exactly as the
+// retired bespoke analyzer did: the commit description, the pending
+// count, and the first pending store's description and position.
+func renderPersistViolation(v *ProtoViolation, fset *token.FileSet) string {
+	first := v.Trace[0]
+	fp := fset.Position(first.pos)
+	return fmt.Sprintf(
+		"commit-point store %s executes with %d unfenced persistent store(s) (first: %s at %s:%d); a crash here commits metadata before the data is durable — insert Device.Fence before committing",
+		v.OpDesc, len(v.Trace), first.desc, shortFile(fp.Filename), fp.Line)
 }
 
 // deviceImplPkg reports whether pkg is the device implementation layer.
 func deviceImplPkg(pkg *Package) bool {
 	return strings.HasSuffix(pkg.Path, "internal/pmem")
-}
-
-func runPersistOrder(pass *Pass) {
-	if pass.Mod == nil || deviceImplPkg(pass.Pkg) {
-		return
-	}
-	report := func(ps *PersistSummary) {
-		for _, u := range ps.Unfenced {
-			first := u.Stores[0]
-			fp := pass.Pkg.Fset.Position(first.Pos)
-			pass.Reportf(u.Commit.Pos,
-				"commit-point store %s executes with %d unfenced persistent store(s) (first: %s at %s:%d); a crash here commits metadata before the data is durable — insert Device.Fence before committing",
-				u.Commit.Desc, len(u.Stores), first.Desc, shortFile(fp.Filename), fp.Line)
-		}
-	}
-	for _, n := range pass.Mod.NodesOf(pass.Pkg) {
-		if ps := pass.Mod.PersistSummaryFor(n.Obj); ps != nil {
-			report(ps)
-		}
-	}
-	for _, ps := range pass.Mod.PersistLitsOf(pass.Pkg) {
-		report(ps)
-	}
 }
 
 // shortFile trims a position filename to its last two path elements so

@@ -36,6 +36,11 @@ type RunResult struct {
 	// fully warm cached run does not; BuildPartition callers must build
 	// it themselves then).
 	Mod *ModuleInfo
+	// AnalyzerMS is wall-clock milliseconds spent per analyzer, summed
+	// across every analyzed package; typestate analyzers additionally
+	// charge their share of the engine's BuildModule precomputation.
+	// Near-empty on a fully warm cached run (nothing re-analyzed).
+	AnalyzerMS map[string]float64
 }
 
 // RunAnalyzersOpts is the full-featured runner. Semantics match
@@ -54,7 +59,7 @@ type RunResult struct {
 // hash: sound by construction, and any edit re-runs exactly them plus
 // the edited closures.
 func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *RunResult {
-	res := &RunResult{Packages: len(pkgs)}
+	res := &RunResult{Packages: len(pkgs), AnalyzerMS: map[string]float64{}}
 	ranStale := false
 	var perPkg, global []*Analyzer
 	for _, a := range analyzers {
@@ -123,13 +128,15 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 	fresh := map[*Package][]Diagnostic{}
 	if len(missed) > 0 {
 		raw := make([][]Diagnostic, len(missed))
+		times := make([]map[string]float64, len(missed))
 		workers := opt.Workers
 		if workers > len(missed) {
 			workers = len(missed)
 		}
 		if workers <= 1 {
 			for i, pkg := range missed {
-				raw[i] = analyzePkg(pkg, perPkg, mod)
+				times[i] = map[string]float64{}
+				raw[i] = analyzePkg(pkg, perPkg, mod, times[i])
 			}
 		} else {
 			// The analyzers are pure functions over the immutable typed
@@ -142,7 +149,8 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 				go func() { //easyio:allow nakedgo (host-side analysis worker pool; the typed ASTs and ModuleInfo are immutable-after-init here, each worker writes only its own raw[i] slot, and wg.Wait joins before reads)
 					defer wg.Done()
 					for i := range jobs {
-						raw[i] = analyzePkg(missed[i], perPkg, mod)
+						times[i] = map[string]float64{}
+						raw[i] = analyzePkg(missed[i], perPkg, mod, times[i])
 					}
 				}()
 			}
@@ -151,6 +159,11 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 			}
 			close(jobs)
 			wg.Wait()
+		}
+		for _, t := range times {
+			for name, v := range t {
+				res.AnalyzerMS[name] += v
+			}
 		}
 		for i, pkg := range missed {
 			kept, used := sup.filterPkg(raw[i])
@@ -170,7 +183,9 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 		var raw []Diagnostic
 		for _, pkg := range pkgs {
 			for _, a := range global {
+				t0 := nowMS()
 				a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &raw})
+				res.AnalyzerMS[a.Name] += nowMS() - t0
 			}
 		}
 		kept, used := sup.filterPkg(raw)
@@ -194,15 +209,26 @@ func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) *R
 	}
 	sortDiags(diags)
 	res.Diags = diags
+	// The typestate analyzers' real work happens once in BuildModule
+	// (computeTypestate); charge each protocol's engine time to its
+	// analyzer so BENCH_vet.json reflects where the milliseconds go.
+	if mod != nil {
+		for name, v := range mod.TypestateMS() {
+			res.AnalyzerMS[name] += v
+		}
+	}
 	return res
 }
 
 // analyzePkg runs the per-package analyzers over one package into a
-// private diagnostics slice (pre-suppression).
-func analyzePkg(pkg *Package, analyzers []*Analyzer, mod *ModuleInfo) []Diagnostic {
+// private diagnostics slice (pre-suppression), accumulating wall-clock
+// milliseconds per analyzer into ms (one private map per worker).
+func analyzePkg(pkg *Package, analyzers []*Analyzer, mod *ModuleInfo, ms map[string]float64) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		t0 := nowMS()
 		a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
+		ms[a.Name] += nowMS() - t0
 	}
 	return diags
 }

@@ -105,6 +105,7 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 			return nil, err
 		}
 		if _, err := fs.WriteAt(nil, in, 0, blob); err != nil {
+			in.Close()
 			return nil, err
 		}
 		inputs[i] = in

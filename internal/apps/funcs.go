@@ -25,6 +25,7 @@ func SnappyDecompressFile(t *caladan.Task, fs fsapi.FileSystem, srcPath, dstPath
 	if err != nil {
 		return 0, err
 	}
+	defer src.Close()
 	comp := make([]byte, src.Size())
 	if _, err := fs.ReadAt(t, src, 0, comp); err != nil {
 		return 0, err
@@ -37,6 +38,7 @@ func SnappyDecompressFile(t *caladan.Task, fs fsapi.FileSystem, srcPath, dstPath
 	if err != nil {
 		return 0, err
 	}
+	defer dst.Close()
 	if _, err := fs.WriteAt(t, dst, 0, plain); err != nil {
 		return 0, err
 	}
@@ -50,6 +52,7 @@ func SnappyCompressFile(t *caladan.Task, fs fsapi.FileSystem, srcPath, dstPath s
 	if err != nil {
 		return 0, err
 	}
+	defer src.Close()
 	plain := make([]byte, src.Size())
 	if _, err := fs.ReadAt(t, src, 0, plain); err != nil {
 		return 0, err
@@ -59,6 +62,7 @@ func SnappyCompressFile(t *caladan.Task, fs fsapi.FileSystem, srcPath, dstPath s
 	if err != nil {
 		return 0, err
 	}
+	defer dst.Close()
 	if _, err := fs.WriteAt(t, dst, 0, comp); err != nil {
 		return 0, err
 	}
@@ -76,6 +80,7 @@ func AESEncryptFile(t *caladan.Task, fs fsapi.FileSystem, key []byte, srcPath, d
 	if err != nil {
 		return err
 	}
+	defer src.Close()
 	plain := make([]byte, src.Size())
 	if _, err := fs.ReadAt(t, src, 0, plain); err != nil {
 		return err
@@ -87,6 +92,7 @@ func AESEncryptFile(t *caladan.Task, fs fsapi.FileSystem, key []byte, srcPath, d
 	if err != nil {
 		return err
 	}
+	defer dst.Close()
 	_, err = fs.WriteAt(t, dst, 0, out)
 	return err
 }
@@ -101,6 +107,7 @@ func GrepFile(t *caladan.Task, fs fsapi.FileSystem, pattern, path string) (int, 
 	if err != nil {
 		return 0, err
 	}
+	defer f.Close()
 	data := make([]byte, f.Size())
 	if _, err := fs.ReadAt(t, f, 0, data); err != nil {
 		return 0, err
@@ -126,6 +133,7 @@ func KNNQueryFile(t *caladan.Task, fs fsapi.FileSystem, tree *kdtree.Tree, path 
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
 	data := make([]byte, f.Size())
 	if _, err := fs.ReadAt(t, f, 0, data); err != nil {
 		return nil, err
@@ -162,6 +170,7 @@ func BFSFromFile(t *caladan.Task, fs fsapi.FileSystem, path string, src int) (in
 	if err != nil {
 		return 0, err
 	}
+	defer f.Close()
 	data := make([]byte, f.Size())
 	if _, err := fs.ReadAt(t, f, 0, data); err != nil {
 		return 0, err

@@ -82,9 +82,11 @@ func capture(fs *core.FS) state {
 			}
 			buf := make([]byte, st.Size)
 			if _, err := fs.FS.ReadAt(nil, f, 0, buf); err != nil {
+				f.Close()
 				lines = append(lines, fmt.Sprintf("ERR %s read %v", p, err))
 				continue
 			}
+			f.Close()
 			lines = append(lines, fmt.Sprintf("F %s nlink=%d size=%d %x", p, st.Nlink, st.Size, buf))
 		}
 	}

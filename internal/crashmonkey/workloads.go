@@ -19,6 +19,7 @@ func writeOp(path string, tag byte, n int) Op {
 		if err != nil {
 			return err
 		}
+		defer f.Close()
 		_, err = fs.WriteAt(t, f, 0, payload(tag, n))
 		return err
 	}
@@ -30,6 +31,7 @@ func appendOp(path string, tag byte, n int) Op {
 		if err != nil {
 			return err
 		}
+		defer f.Close()
 		_, err = fs.Append(t, f, payload(tag, n))
 		return err
 	}
@@ -126,6 +128,7 @@ func Generic322() Workload {
 			if err != nil {
 				return err
 			}
+			defer f.Close()
 			_, err = fs.WriteAt(nil, f, 0, payload('v', 8<<10))
 			return err
 		},

@@ -109,6 +109,7 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 			return nil, err
 		}
 		if _, err := fs.WriteAt(nil, f, 0, blob); err != nil {
+			f.Close()
 			return nil, err
 		}
 		files[i] = f
@@ -153,6 +154,7 @@ func Run(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config) 
 					mustOp("read", err)
 					_, err = fs.Stat(task, name)
 					mustOp("stat", err)
+					nf.Close()
 					mustOp("unlink", fs.Unlink(task, name))
 				case Webserver:
 					// 10 reads : 1 log append (Table 1 R/W ratio).

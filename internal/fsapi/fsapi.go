@@ -11,6 +11,15 @@ import (
 // FileSystem is the POSIX-ish surface the workloads exercise. All methods
 // charge virtual CPU/device time against the calling task (nil task means
 // functional-only, for setup).
+//
+// Handle contract (machine-checked by the `handlestate` typestate
+// protocol in internal/analysis): a *nova.File obtained from
+// Create/Open/OpenOrCreate is open until File.Close; every path —
+// error arms included — must either Close the handle or transfer
+// ownership (return it, or store it into a live structure whose owner
+// closes it), and no method may touch a closed handle. Under
+// `-tags easyio_invariants` the handles assert the same protocol at
+// runtime.
 type FileSystem interface {
 	Create(t *caladan.Task, path string) (*nova.File, error)
 	Open(t *caladan.Task, path string) (*nova.File, error)

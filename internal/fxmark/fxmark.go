@@ -146,6 +146,7 @@ func Start(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config
 			return nil, err
 		}
 		if err := prefill(fs, f, cfg.FileSize); err != nil {
+			f.Close()
 			return nil, err
 		}
 		sharedFile = f
@@ -159,6 +160,7 @@ func Start(eng *sim.Engine, rt *caladan.Runtime, fs fsapi.FileSystem, cfg Config
 			}
 			if cfg.Workload == DRBL {
 				if err := prefill(fs, f, cfg.FileSize); err != nil {
+					f.Close()
 					return nil, err
 				}
 			}

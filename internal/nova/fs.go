@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/invariants"
 	"github.com/easyio-sim/easyio/internal/perfmodel"
 	"github.com/easyio-sim/easyio/internal/pmem"
 	"github.com/easyio-sim/easyio/internal/sim"
@@ -314,10 +315,32 @@ func (fs *FS) lookupDir(path string) (*Inode, string, error) {
 	return dir, name, nil
 }
 
-// File is an open handle.
+// File is an open handle. Handles follow the open → use → Close
+// typestate protocol the handlestate analyzer enforces: every data-path
+// method requires an open handle, Close is called exactly once, and
+// owners close (or hand off) the handle on every path, error arms
+// included. Under -tags easyio_invariants, use-after-close panics.
 type File struct {
-	fs  *FS
-	ino *Inode
+	fs     *FS
+	ino    *Inode
+	closed bool
+}
+
+// Close retires the handle. Handles are simulation-side bookkeeping (no
+// kernel fd table), so Close charges nothing and cannot fail — it
+// exists to make handle lifetime explicit and machine-checkable.
+func (f *File) Close() {
+	f.assertOpen("Close")
+	f.closed = true
+}
+
+// assertOpen panics on use-after-close when runtime invariants are
+// compiled in (-tags easyio_invariants); production builds eliminate
+// the check entirely (invariants.Enabled is a constant).
+func (f *File) assertOpen(op string) {
+	if invariants.Enabled && f.closed {
+		panic("nova: " + op + " on closed file handle")
+	}
 }
 
 // Inode returns the file's inode.
@@ -327,7 +350,10 @@ func (f *File) Inode() *Inode { return f.ino }
 func (f *File) FS() *FS { return f.fs }
 
 // Size returns the current file size.
-func (f *File) Size() int64 { return f.ino.Size }
+func (f *File) Size() int64 {
+	f.assertOpen("Size")
+	return f.ino.Size
+}
 
 // Create makes a new regular file. It fails with ErrExist if the name is
 // taken.

@@ -13,6 +13,7 @@ import (
 // one write entry per contiguous run, commit the tail, update the index
 // and free the replaced blocks.
 func (fs *FS) WriteAt(t *caladan.Task, f *File, off int64, data []byte) (int, error) {
+	f.assertOpen("WriteAt")
 	ino := f.ino
 	fs.Charge(t, fs.cpu.Syscall)
 	ino.Mu.Lock(t)
@@ -23,6 +24,7 @@ func (fs *FS) WriteAt(t *caladan.Task, f *File, off int64, data []byte) (int, er
 
 // Append writes data at the current end of file.
 func (fs *FS) Append(t *caladan.Task, f *File, data []byte) (int, error) {
+	f.assertOpen("Append")
 	ino := f.ino
 	fs.Charge(t, fs.cpu.Syscall)
 	ino.Mu.Lock(t)
@@ -224,6 +226,7 @@ func (fs *FS) CountRead(n int64) {
 // ReadAt reads up to len(buf) bytes at off. Reads past EOF are truncated;
 // holes read as zeros.
 func (fs *FS) ReadAt(t *caladan.Task, f *File, off int64, buf []byte) (int, error) {
+	f.assertOpen("ReadAt")
 	ino := f.ino
 	fs.Charge(t, fs.cpu.Syscall)
 	ino.Mu.Lock(t)
@@ -315,6 +318,7 @@ func DataBytes(runs []Run) int64 {
 // Truncate sets the file size (extending with a hole or shrinking). It
 // appends a SetAttr entry; shrunk blocks are freed after commit.
 func (fs *FS) Truncate(t *caladan.Task, f *File, size int64) error {
+	f.assertOpen("Truncate")
 	ino := f.ino
 	fs.Charge(t, fs.cpu.Syscall+fs.cpu.MetaAppend+fs.cpu.MetaCommit)
 	ino.Mu.Lock(t)
@@ -378,6 +382,7 @@ func (fs *FS) Truncate(t *caladan.Task, f *File, size int64) error {
 // Fsync is a no-op: every committed operation is already durable (§2.1,
 // DAX with strict persistence). It still charges the syscall cost.
 func (fs *FS) Fsync(t *caladan.Task, f *File) error {
+	f.assertOpen("Fsync")
 	fs.Charge(t, fs.cpu.Syscall)
 	return nil
 }

@@ -342,6 +342,7 @@ func New(eng *sim.Engine, rt *caladan.Runtime, fs *core.FS, cfg Config) (*Server
 				return nil, fmt.Errorf("tenant %s: %w", spec.Name, err)
 			}
 			if _, err := fs.WriteAt(nil, f, 0, blob); err != nil {
+				f.Close()
 				return nil, fmt.Errorf("tenant %s prefill: %w", spec.Name, err)
 			}
 			tn.files = append(tn.files, f)
