@@ -12,9 +12,9 @@ go vet ./...
 echo '== go run ./cmd/easyio-vet ./...'
 go run ./cmd/easyio-vet ./...
 
-echo '== analyzer registry completeness (>= 23 analyzers)'
+echo '== analyzer registry completeness (>= 24 analyzers)'
 n=$(go run ./cmd/easyio-vet -list | wc -l)
-test "$n" -ge 23 || { echo "only $n analyzers registered"; exit 1; }
+test "$n" -ge 24 || { echo "only $n analyzers registered"; exit 1; }
 
 echo '== easyio-vet cache smoke (warm rerun byte-identical, all hits)'
 go build -o /tmp/easyio-vet-check ./cmd/easyio-vet
@@ -25,10 +25,10 @@ diff /tmp/easyio-vet-cold.txt /tmp/easyio-vet-warm.txt
 grep -q '"cache_hits": 0' /tmp/easyio-vet-cold.json || { echo "cold run unexpectedly hit the cache"; exit 1; }
 grep -q '"cache_misses": 0' /tmp/easyio-vet-warm.json || { echo "warm run missed the cache"; exit 1; }
 
-echo '== typestate engine cost (five protocols <= 25% of cold wall-clock)'
+echo '== typestate engine cost (six protocols <= 25% of cold wall-clock)'
 cold_wall=$(grep -o '"wall_ms": [0-9.eE+-]*' /tmp/easyio-vet-cold.json | grep -o '[0-9.eE+-]*$')
 ts_ms=0
-for p in svclifecycle horizonproto epochbudget handlestate persistorder; do
+for p in svclifecycle horizonproto epochbudget handlestate persistorder parityepoch; do
   v=$(grep -o "\"$p\": [0-9.eE+-]*" /tmp/easyio-vet-cold.json | grep -o '[0-9.eE+-]*$')
   test -n "$v" || { echo "cold BENCH json missing analyzer timing for $p"; exit 1; }
   ts_ms=$(awk -v a="$ts_ms" -v b="$v" 'BEGIN { printf "%.6f", a + b }')
@@ -45,8 +45,26 @@ diff /tmp/easyio-vet-part1.json /tmp/easyio-vet-part4.json
 diff /tmp/easyio-vet-part1.json partition.json || { echo "partition.json is stale; regenerate with: go run ./cmd/easyio-vet -nocache -partition partition.json ./..."; exit 1; }
 grep -q '"acyclic": true' partition.json || { echo "lock-order graph is not acyclic"; exit 1; }
 grep -q '"unguarded_findings": 0' partition.json || { echo "unguarded cross-node shared-mutable state detected"; exit 1; }
-test "$(grep -c '"status": "clean"' partition.json)" -eq 5 || { echo "a typestate protocol is violated module-wide (see partition.json protocols)"; exit 1; }
+test "$(grep -c '"status": "clean"' partition.json)" -eq 6 || { echo "a typestate protocol is violated module-wide (see partition.json protocols)"; exit 1; }
 rm -rf /tmp/easyio-vet-check /tmp/easyio-vet-cache-check /tmp/easyio-vet-cold.* /tmp/easyio-vet-warm.* /tmp/easyio-vet-p1.txt /tmp/easyio-vet-p4.txt /tmp/easyio-vet-part1.json /tmp/easyio-vet-part4.json
+
+echo '== redundancy artifact gate (epoch-parity p99 <= 1.2x off, lag within bound)'
+awk '
+  function val(  v) { v = $2; gsub(/,/, "", v); return v + 0 }
+  /"delay_bound_ns":/ { bound = val() }
+  /"mode":/           { epoch = ($2 ~ /"epoch"/) }
+  /"p99_ratio":/ && epoch {
+    cells++
+    if (val() > 1.2) { printf "epoch-parity p99 ratio %s exceeds 1.2x parity-off\n", $2; bad = 1 }
+  }
+  /"max_lag_ns":/ && epoch {
+    if (val() > bound) { printf "epoch parity max lag %s ns exceeds delay bound %d ns\n", $2, bound; bad = 1 }
+  }
+  END {
+    if (cells == 0) { print "no epoch-mode cells in BENCH_redundancy.json"; bad = 1 }
+    exit bad
+  }
+' BENCH_redundancy.json || { echo "BENCH_redundancy.json violates the parity trade-off gate; regenerate with: go run ./cmd/easyio-serve -redjson BENCH_redundancy.json"; exit 1; }
 
 echo '== go test ./...'
 go test ./...

@@ -10,6 +10,11 @@
 //	easyio-serve -quick                   # short windows, no capacity cell
 //	easyio-serve -parallel 4              # output identical for any value
 //	easyio-serve -json BENCH_serve.json   # committed artifact
+//	easyio-serve -redjson BENCH_redundancy.json  # committed parity artifact
+//
+// After the serving sweep it runs the redundancy experiment: the same
+// tenant mix with Vilamb-style epoch-batched parity riding the harvested
+// windows (and the eager per-touch baseline for contrast).
 //
 // Every reported number is a virtual-time observable, so repeated runs
 // with the same -seed are byte-identical for any -parallel value.
@@ -18,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -31,6 +37,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep-point jobs (output is identical for any value)")
 	simworkers := flag.Int("simworkers", runtime.GOMAXPROCS(0), "goroutines per multi-domain simulation (output is identical for any value)")
 	jsonPath := flag.String("json", "", "write the serve report JSON to this file")
+	redJSONPath := flag.String("redjson", "", "write the redundancy report JSON to this file")
 	million := flag.Bool("million", false, "force the million-request capacity cell even with -quick")
 	flag.Parse()
 
@@ -56,19 +63,29 @@ func main() {
 	fmt.Println("==== serve ====")
 	report := bench.Serve(os.Stdout, measure, *seed, runMillion)
 
+	fmt.Println("==== redundancy ====")
+	redReport := bench.Redundancy(os.Stdout, measure, *seed)
+
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		writeJSON(*jsonPath, report.WriteJSON)
+	}
+	if *redJSONPath != "" {
+		writeJSON(*redJSONPath, redReport.WriteJSON)
+	}
+}
+
+func writeJSON(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -143,7 +143,7 @@ func All() []*Analyzer {
 		PersistOrder, FenceHygiene, RecoveryPurity,
 		LockOrder, Confinement, AtomicHygiene,
 		NoAlloc, Boxing, HotPathCover,
-		SvcLifecycle, HorizonProto, EpochBudget, HandleState,
+		SvcLifecycle, HorizonProto, EpochBudget, HandleState, ParityEpoch,
 	}
 }
 

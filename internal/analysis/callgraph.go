@@ -11,7 +11,10 @@ import (
 // resolved calls (direct calls and concrete method values). Interface
 // dispatch and function values have no static callee and produce no
 // edge — analyzers built on summaries are conservative across dynamic
-// dispatch by construction.
+// dispatch by construction. Value references to module functions
+// (method values installed as hooks, functions passed as arguments) are
+// recorded separately as Refs: no effects transfer at a reference site,
+// but liveness does.
 
 // FuncNode is one declared function in the module call graph.
 type FuncNode struct {
@@ -26,6 +29,13 @@ type FuncNode struct {
 	Callees []*FuncNode
 	// Callers is the reverse edge set, in deterministic node order.
 	Callers []*FuncNode
+	// Refs are module-internal functions referenced as values rather
+	// than called (method values handed to hooks, function arguments):
+	// the address-taken set. Summary propagation ignores them (a value
+	// reference transfers no effects at the reference site), but
+	// program-liveness consumers (hotpathcover) follow them — a hook
+	// installed from reachable code is reachable.
+	Refs []*FuncNode
 }
 
 // ModuleInfo is the interprocedural view of one load: call graph, SCC
@@ -126,15 +136,33 @@ func BuildModule(pkgs []*Package) *ModuleInfo {
 	}
 	for _, n := range mod.Nodes {
 		seen := map[*FuncNode]bool{}
+		seenRef := map[*FuncNode]bool{}
+		// callIdent marks the identifiers that name a call's callee, so
+		// the reference pass below only sees value references. Inspect is
+		// pre-order: a CallExpr is visited before its Fun's identifiers.
+		callIdent := map[*ast.Ident]bool{}
 		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
+			if call, ok := x.(*ast.CallExpr); ok {
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					callIdent[fun] = true
+				case *ast.SelectorExpr:
+					callIdent[fun.Sel] = true
+				}
+				if callee := staticCallee(n.Pkg.Info, call); callee != nil {
+					if cn := mod.Funcs[callee]; cn != nil && !seen[cn] {
+						seen[cn] = true
+						n.Callees = append(n.Callees, cn)
+					}
+				}
 				return true
 			}
-			if callee := staticCallee(n.Pkg.Info, call); callee != nil {
-				if cn := mod.Funcs[callee]; cn != nil && !seen[cn] {
-					seen[cn] = true
-					n.Callees = append(n.Callees, cn)
+			if id, ok := x.(*ast.Ident); ok && !callIdent[id] {
+				if obj, _ := n.Pkg.Info.Uses[id].(*types.Func); obj != nil {
+					if cn := mod.Funcs[obj]; cn != nil && !seenRef[cn] {
+						seenRef[cn] = true
+						n.Refs = append(n.Refs, cn)
+					}
 				}
 			}
 			return true

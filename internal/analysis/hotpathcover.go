@@ -54,7 +54,7 @@ type requiredHotRoot struct {
 }
 
 // requiredHotRoots is the contract surface: the steady-state entry
-// points of the six performance-critical subsystems.
+// points of the performance-critical subsystems.
 var requiredHotRoots = []requiredHotRoot{
 	{"internal/sim", "Engine", "step", "sim event dispatch"},
 	{"internal/sim", "wheel", "insert", "timer-wheel schedule"},
@@ -64,6 +64,7 @@ var requiredHotRoots = []requiredHotRoot{
 	{"internal/service", "Server", "Inject", "service request admission"},
 	{"internal/service", "Server", "execute", "service request execution"},
 	{"internal/pmem", "Device", "recompute", "pmem bandwidth arbitration"},
+	{"internal/redundancy", "Tracker", "MarkDirty", "redundancy dirty capture"},
 }
 
 // emitCoverFindings precomputes hotpathcover's findings: required-root
@@ -103,8 +104,11 @@ func emitCoverFindings(mod *ModuleInfo, hot *moduleHot) {
 	}
 
 	// Engine roots: main functions of the command binaries. Everything
-	// the contract certifies must be live under them (all static edges,
-	// cold or not — this is program reachability, not hot reachability).
+	// the contract certifies must be live under them (all static edges
+	// plus value references, cold or not — this is program reachability,
+	// not hot reachability: a hot hook like redundancy's MarkDirty is
+	// installed by a method-value reference and then invoked
+	// dynamically, so Refs count as liveness edges).
 	reach := map[*FuncNode]bool{}
 	var queue []*FuncNode
 	for _, n := range mod.Nodes {
@@ -117,6 +121,12 @@ func emitCoverFindings(mod *ModuleInfo, hot *moduleHot) {
 		n := queue[0]
 		queue = queue[1:]
 		for _, c := range n.Callees {
+			if !reach[c] {
+				reach[c] = true
+				queue = append(queue, c)
+			}
+		}
+		for _, c := range n.Refs {
 			if !reach[c] {
 				reach[c] = true
 				queue = append(queue, c)

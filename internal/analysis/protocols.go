@@ -169,6 +169,50 @@ var handleStateProtocol = &Protocol{
 	},
 }
 
+// parityEpochProtocol is the per-epoch automaton over redundancy epochs:
+// OpenEpoch -> Seal -> Compute -> Persist -> Advance, with Abandon as the
+// any-state escape hatch (the crash harness's way of modeling a crash
+// mid-epoch). The order is load-bearing: Seal journals the dirty set
+// before parity is rebuilt, and Persist's commit fence assumes the
+// parity stores already happened — a skipped or repeated stage corrupts
+// the crash story recovery depends on. One epoch is in flight at a
+// time, so an un-retired epoch also wedges the tracker.
+// internal/redundancy implements the state machine, so it is exempt;
+// external drivers (crashmonkey, benches) are machine-checked.
+var parityEpochProtocol = &Protocol{
+	Name:       "parityepoch",
+	Doc:        "redundancy.Epoch lifecycle: OpenEpoch -> Seal -> Compute -> Persist -> Advance (Abandon from any state), no stage skipped or repeated, every epoch retired on every path",
+	Object:     "redundancy.Epoch",
+	States:     []string{"open", "sealed", "computed", "persisted", "advanced"},
+	Accept:     []string{"advanced"},
+	PerValue:   true,
+	ValueType:  "Epoch",
+	ExemptPkgs: []string{"internal/redundancy"},
+	LeakMsg:    "redundancy epoch from %s is neither advanced nor abandoned on every path — a leaked epoch wedges the tracker (one epoch in flight) and leaves committed < sealed",
+	Ops: []ProtoOp{
+		{Name: "OpenEpoch", ResultType: "Epoch", NArgs: anyArgs, Creates: true,
+			Trans: [][2]string{{"", "open"}}},
+		{Name: "Seal", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"open", "sealed"}},
+			Msg:   "Seal journals the open dirty set exactly once, before any parity is computed"},
+		{Name: "Compute", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"sealed", "computed"}},
+			Msg:   "parity is computed from a sealed (journaled) dirty set, never from the live one"},
+		{Name: "Persist", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"computed", "persisted"}},
+			Msg:   "Persist's commit fence assumes the parity stores already happened (Compute first)"},
+		{Name: "Advance", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"persisted", "advanced"}},
+			Msg:   "Advance retires a persisted epoch; an unpersisted one must be Abandoned instead"},
+		{Name: "Abandon", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"open", "advanced"}, {"sealed", "advanced"}, {"computed", "advanced"}, {"persisted", "advanced"}, {"advanced", "advanced"}},
+			Msg:   "Abandon drops the epoch without persisting (the crash-harness escape)"},
+		{Name: "*", Recv: "Epoch", NArgs: anyArgs,
+			Trans: [][2]string{{"open", "open"}, {"sealed", "sealed"}, {"computed", "computed"}, {"persisted", "persisted"}},
+			Msg:   "epoch accessors require a live (un-retired) epoch"},
+	},
+}
+
 // Protocols returns every registered typestate specification, in
 // engine execution (and partition report) order.
 func Protocols() []*Protocol {
@@ -177,6 +221,7 @@ func Protocols() []*Protocol {
 		horizonProtocol,
 		epochBudgetProtocol,
 		handleStateProtocol,
+		parityEpochProtocol,
 		persistProtocol,
 	}
 }
@@ -222,4 +267,11 @@ var HandleState = &Analyzer{
 	Name: handleStateProtocol.Name,
 	Doc:  handleStateProtocol.Doc,
 	Run:  runProtocol(handleStateProtocol.Name),
+}
+
+// ParityEpoch checks the redundancy epoch lifecycle automaton.
+var ParityEpoch = &Analyzer{
+	Name: parityEpochProtocol.Name,
+	Doc:  parityEpochProtocol.Doc,
+	Run:  runProtocol(parityEpochProtocol.Name),
 }

@@ -566,6 +566,180 @@ func Bad(fs *FS, b []byte) {
 	}
 }
 
+// parityFixture mirrors the redundancy epoch surface by shape: a Tracker
+// whose OpenEpoch hands out an *Epoch with the five lifecycle methods.
+const parityFixture = `package fx
+type Epoch struct{}
+func (e *Epoch) Seal()       {}
+func (e *Epoch) Compute()    {}
+func (e *Epoch) Persist()    {}
+func (e *Epoch) Advance()    {}
+func (e *Epoch) Abandon()    {}
+func (e *Epoch) N() uint64   { return 0 }
+func (e *Epoch) Stripes() int { return 0 }
+type Tracker struct{}
+func (t *Tracker) OpenEpoch() *Epoch { return &Epoch{} }
+`
+
+func TestParityEpoch(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"full lifecycle accepted", parityFixture + `
+func Ok(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute()
+	ep.Persist()
+	ep.Advance()
+}
+`, 0},
+		{"abandon from any state accepted", parityFixture + `
+func Ok(tr *Tracker, crash bool) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	if crash {
+		ep.Abandon()
+		return
+	}
+	ep.Compute()
+	ep.Persist()
+	ep.Advance()
+}
+`, 0},
+		{"un-retired epoch leaks, flagged", parityFixture + `
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute()
+}
+`, 1},
+		{"error arm leaks the epoch, flagged", parityFixture + `
+func Bad(tr *Tracker, fail bool) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	if fail {
+		return
+	}
+	ep.Compute()
+	ep.Persist()
+	ep.Advance()
+}
+`, 1},
+		{"double seal flagged", parityFixture + `
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Seal()
+	ep.Abandon()
+}
+`, 1},
+		{"compute before seal flagged", parityFixture + `
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Compute()
+	ep.Abandon()
+}
+`, 1},
+		{"advance without persist flagged", parityFixture + `
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Advance()
+	ep.Abandon()
+}
+`, 1},
+		{"deferred abandon covers every exit", parityFixture + `
+func Ok(tr *Tracker, fail bool) {
+	ep := tr.OpenEpoch()
+	defer ep.Abandon()
+	ep.Seal()
+	if fail {
+		return
+	}
+	ep.Compute()
+	ep.Persist()
+}
+`, 0},
+		{"deferred advance replays in the persisted state", parityFixture + `
+func Ok(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	defer ep.Advance()
+	ep.Seal()
+	ep.Compute()
+	ep.Persist()
+}
+`, 0},
+		{"accessor after retire flagged via wildcard matcher", parityFixture + `
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute()
+	ep.Persist()
+	ep.Advance()
+	_ = ep.N()
+}
+`, 1},
+		{"interprocedural retire helper discharges the obligation", parityFixture + `
+func finish(ep *Epoch) {
+	ep.Persist()
+	ep.Advance()
+}
+func Ok(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute()
+	finish(ep)
+}
+`, 0},
+		{"SCC recursion converges to the retired state", parityFixture + `
+func ping(ep *Epoch, n int) {
+	if n == 0 {
+		ep.Advance()
+		return
+	}
+	pong(ep, n-1)
+}
+func pong(ep *Epoch, n int) { ping(ep, n) }
+func Ok(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute()
+	ep.Persist()
+	ping(ep, 3)
+}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, ParityEpoch, "", tc.src)
+			wantFindings(t, diags, tc.want, "parityepoch")
+		})
+	}
+}
+
+// TestParityEpochLeakMessage locks the leak rendering and its trace.
+func TestParityEpochLeakMessage(t *testing.T) {
+	diags := runFixture(t, ParityEpoch, "", parityFixture+`
+func Bad(tr *Tracker) {
+	ep := tr.OpenEpoch()
+	ep.Seal()
+}
+`)
+	wantFindings(t, diags, 1, "parityepoch")
+	msg := diags[0].Message
+	for _, frag := range []string{"OpenEpoch", "advanced nor abandoned", "committed < sealed"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("message %q missing %q", msg, frag)
+		}
+	}
+	if len(diags[0].Trace) == 0 {
+		t.Errorf("leak carries no trace back to OpenEpoch")
+	}
+}
+
 // TestProtocolStats locks the -list rendering inputs: every registered
 // protocol reports its state and transition counts.
 func TestProtocolStats(t *testing.T) {
@@ -574,6 +748,7 @@ func TestProtocolStats(t *testing.T) {
 		"horizonproto": {4, 6},
 		"epochbudget":  {3, 8},
 		"handlestate":  {2, 12},
+		"parityepoch":  {5, 14},
 		"persistorder": {4, 12},
 	}
 	for name, counts := range want {

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/redundancy"
+	"github.com/easyio-sim/easyio/internal/service"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// The redundancy corpus pins the parity subsystem's end-to-end behaviour
+// on the full stack: one cell per (epoch length, admission policy), each
+// folding the serving result digest, the engine clock and event
+// sequence, and the tracker's epoch/stripe/lag accounting into one
+// digest. Any change to dirty capture, epoch pacing, B-channel
+// scheduling of parity reads, or the seal/persist ordering surfaces as
+// digest churn here.
+//
+// Regenerate with:
+//
+//	go test ./internal/bench -run TestRedundancyDigestCorpus -update-digests
+
+// redCorpusEntry is one (epoch length, admission policy) cell.
+type redCorpusEntry struct {
+	EpochLen sim.Duration
+	Policy   service.PolicyKind
+}
+
+func redCorpusEntries() []redCorpusEntry {
+	var out []redCorpusEntry
+	for _, el := range redEpochLens {
+		for _, pol := range []service.PolicyKind{service.PolicyNone, service.PolicyEWMA} {
+			out = append(out, redCorpusEntry{el, pol})
+		}
+	}
+	return out
+}
+
+// redCorpusDigest runs one epoch-parity serving cell and folds the
+// foreground and parity observables into a digest.
+func redCorpusDigest(t *testing.T, e redCorpusEntry, seed uint64) uint64 {
+	t.Helper()
+	inst, err := NewInstance(SysEasyIO, redCores, InstanceOptions{
+		Seed:       seed,
+		DeviceSize: redDeviceSize,
+		Redundancy: &redundancy.Options{
+			EpochLen:   e.EpochLen,
+			DelayBound: redDelayBound,
+			Policy:     redundancy.PolicyEpoch,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	inst.Parity.Start(inst.RT, inst.CoreFS.Manager())
+	res, err := service.Run(inst.Eng, inst.RT, inst.CoreFS, service.Config{
+		Cores:   redCores,
+		Tenants: redTenants(),
+		Policy:  service.PolicySpec{Kind: e.Policy},
+		Warmup:  sim.Millisecond,
+		Measure: 8 * sim.Millisecond,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := inst.Parity
+	if res.Tenants[0].Completed == 0 || tr.Epochs == 0 {
+		t.Fatalf("epoch=%v/%s: vacuous cell (completed=%d epochs=%d)",
+			e.EpochLen, e.Policy, res.Tenants[0].Completed, tr.Epochs)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "res=%#016x;now=%d;seq=%d;", res.Digest(), int64(inst.Eng.Now()), int64(inst.Eng.Sequence()))
+	fmt.Fprintf(h, "ep=%d;st=%d;pb=%d;dr=%d;esc=%d;sealed=%d;committed=%d;maxlag=%d;meanlag=%d;",
+		tr.Epochs, tr.StripesParity, tr.ParityBytes, tr.DataBytesRead, tr.EscalatedStripes,
+		tr.SealedEpoch(), tr.CommittedEpoch(), int64(tr.MaxLag), int64(tr.MeanLag()))
+	return h.Sum64()
+}
+
+func redGoldenPath() string {
+	return fmt.Sprintf("testdata/redundancy_digests_%s.golden", runtime.GOARCH)
+}
+
+func redCorpusKey(e redCorpusEntry) string {
+	return fmt.Sprintf("redundancy/epoch%dus/%s/seed%d", int64(e.EpochLen/sim.Microsecond), e.Policy, corpusSeed)
+}
+
+// TestRedundancyDigestCorpus checks every parity cell against the
+// committed golden digests (regenerate with -update-digests).
+func TestRedundancyDigestCorpus(t *testing.T) {
+	got := map[string]uint64{}
+	for _, e := range redCorpusEntries() {
+		e := e
+		t.Run(fmt.Sprintf("epoch%dus-%s", int64(e.EpochLen/sim.Microsecond), e.Policy), func(t *testing.T) {
+			got[redCorpusKey(e)] = redCorpusDigest(t, e, corpusSeed)
+		})
+	}
+
+	if *updateDigests {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# golden redundancy digests (seed %d, GOARCH %s)\n", corpusSeed, runtime.GOARCH)
+		fmt.Fprintf(&b, "# regenerate: go test ./internal/bench -run TestRedundancyDigestCorpus -update-digests\n")
+		for _, e := range redCorpusEntries() {
+			k := redCorpusKey(e)
+			fmt.Fprintf(&b, "%s %#016x\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(redGoldenPath(), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", redGoldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(redGoldenPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skipf("no redundancy golden corpus for GOARCH %s; generate one with -update-digests", runtime.GOARCH)
+		}
+		t.Fatal(err)
+	}
+	want := map[string]uint64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			t.Fatalf("malformed golden line %q: %v", line, err)
+		}
+		want[fields[0]] = v
+	}
+	for _, e := range redCorpusEntries() {
+		k := redCorpusKey(e)
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: missing from golden corpus; regenerate with -update-digests", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: digest %#016x, golden %#016x — parity behaviour changed; if intended, regenerate with -update-digests", k, got[k], w)
+		}
+	}
+}
+
+// TestRedundancyCorpusSeedSensitivity proves the parity digests
+// discriminate: each epoch length must produce seed-dependent digests.
+func TestRedundancyCorpusSeedSensitivity(t *testing.T) {
+	for _, el := range redEpochLens {
+		el := el
+		t.Run(fmt.Sprintf("epoch%dus", int64(el/sim.Microsecond)), func(t *testing.T) {
+			e := redCorpusEntry{el, service.PolicyEWMA}
+			a := redCorpusDigest(t, e, corpusSeed)
+			b := redCorpusDigest(t, e, corpusSeed+1)
+			if a == b {
+				t.Fatalf("epoch %v: seeds %d and %d produced identical digest %#x", el, corpusSeed, corpusSeed+1, a)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// redTestMeasure keeps the gate fast while leaving enough epochs for the
+// tail comparison to be meaningful.
+const redTestMeasure = 5 * sim.Millisecond
+
+// TestRedundancyTradeoff is the headline regression gate: epoch-batched
+// parity must stay within 1.2x of the parity-off foreground p99 at 1x
+// load (the harvested-window claim), parity work must actually run, and
+// its freshness lag must respect the configured delay bound. The eager
+// baseline exists to show the contrast: recomputing parity per touch on
+// the foreground channels costs a visibly larger tail than batching.
+func TestRedundancyTradeoff(t *testing.T) {
+	out := io.Discard
+	if testing.Verbose() {
+		out = os.Stdout
+	}
+	rep := Redundancy(out, redTestMeasure, 42)
+
+	modes := redModesAxis()
+	perAdm := len(modes)
+	for a := 0; a < len(rep.Cells)/perAdm; a++ {
+		off := rep.Cells[a*perAdm]
+		var eager *RedCell
+		for m := 1; m < perAdm; m++ {
+			c := &rep.Cells[a*perAdm+m]
+			if c.Epochs == 0 || c.StripesParity == 0 {
+				t.Errorf("%s/%s@%dns: no parity work ran", c.Admission, c.Mode, c.EpochLenNS)
+				continue
+			}
+			if c.Mode == "eager" {
+				eager = c
+				continue
+			}
+			if c.P99Ratio > 1.2 {
+				t.Errorf("%s/%s@%dns: foreground p99 inflated %.3fx over parity-off (%.1fus vs %.1fus), budget 1.2x",
+					c.Admission, c.Mode, c.EpochLenNS, c.P99Ratio,
+					float64(c.FgP99NS)/1e3, float64(off.FgP99NS)/1e3)
+			}
+			if c.MaxLagNS > rep.DelayBound {
+				t.Errorf("%s/%s@%dns: max freshness lag %dns exceeds delay bound %dns",
+					c.Admission, c.Mode, c.EpochLenNS, c.MaxLagNS, rep.DelayBound)
+			}
+		}
+		// The eager baseline must be measurably worse on the tail than
+		// the short-epoch batched cell under the same admission policy.
+		batched := &rep.Cells[a*perAdm+1]
+		if eager == nil {
+			t.Fatalf("admission %s: no eager cell", off.Admission)
+		}
+		if eager.FgP99NS <= batched.FgP99NS {
+			t.Errorf("%s: eager parity p99 %.1fus not worse than epoch-batched %.1fus — the batching trade-off vanished",
+				off.Admission, float64(eager.FgP99NS)/1e3, float64(batched.FgP99NS)/1e3)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package crashmonkey
+
+import (
+	"fmt"
+
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/redundancy"
+	"github.com/easyio-sim/easyio/internal/rng"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// The parity crash workload targets the redundancy subsystem's freshness
+// contract instead of FS-operation atomicity: parity is *allowed* to lag
+// the data (that is the whole Vilamb trade), so the property under test
+// is not "parity matches data in every crash state" but "recovery always
+// detects exactly which stripes are stale, rebuilds them, and lands in a
+// fully consistent region". The workload crashes mid-epoch — after the
+// seal journal is durable, before the parity pages commit — so the
+// recovered image has committedEpoch < sealedEpoch, the journal naming
+// the expected-stale stripes, plus open-epoch stores whose volatile
+// dirty set died with the crash (the silent staleness only the scrub
+// catches).
+
+// ParityConfig bounds the parity crash exploration.
+type ParityConfig struct {
+	// TargetPoints is the number of crash states to test (default 200).
+	TargetPoints int
+	// Seed drives subset sampling.
+	Seed uint64
+	// DeviceSize (default 16 MB — the scrub reads every covered page per
+	// crash state, so the harness keeps the region small).
+	DeviceSize int64
+}
+
+func (c ParityConfig) withDefaults() ParityConfig {
+	if c.TargetPoints == 0 {
+		c.TargetPoints = 200
+	}
+	if c.DeviceSize == 0 {
+		c.DeviceSize = 16 << 20
+	}
+	return c
+}
+
+// parityOpts is the tracker geometry every mount of the harness device
+// uses: coverage starts at the inode table, past the FS metadata prefix
+// and the DMA completion-buffer region.
+func parityOpts() redundancy.Options {
+	return redundancy.Options{
+		Width:        8,
+		JournalPages: 4,
+		CoverStart:   nova.InodeTableOff,
+	}
+}
+
+// ParityReport is the parity workload's crash-exploration result.
+type ParityReport struct {
+	CrashPoints int
+	Passed      int
+	Failures    []string
+	// LaggedPoints counts crash states where the committed epoch lagged
+	// the sealed one, i.e. recovery had journal flags to honor.
+	LaggedPoints int
+	// SilentStalePoints counts crash states with stale stripes the
+	// journal never named (open-epoch casualties) — proof the scrub, not
+	// the journal, is what closes the freshness hole.
+	SilentStalePoints int
+	// Full is the recovery report of the all-records-applied image: the
+	// canonical mid-epoch crash, with both flagged and silent staleness.
+	Full *redundancy.RecoverReport
+	// FullImageDigest is Recover's parity-region digest on that image,
+	// deterministic for a given seed; the regression test pins it.
+	FullImageDigest uint64
+}
+
+// Failed reports the number of failing crash states.
+func (r *ParityReport) Failed() int { return r.CrashPoints - r.Passed }
+
+// ParityCrash builds a filesystem with a parity region, brings parity
+// fresh, then crashes a workload mid-epoch and explores crash states:
+// every fence-epoch prefix plus sampled store subsets inside each epoch.
+// Each crash image is recovered with redundancy.Recover and must verify
+// clean afterwards; the FS must still mount.
+func ParityCrash(cfg ParityConfig) (*ParityReport, error) {
+	cfg = cfg.withDefaults()
+	ropts := parityOpts()
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), cfg.DeviceSize)
+	opts := core.Options{Nova: nova.Options{
+		NumInodes: 256,
+		Reserve:   redundancy.ReserveFor(cfg.DeviceSize, ropts),
+	}}
+	if err := core.Format(dev, opts); err != nil {
+		return nil, err
+	}
+	engines := core.NewEngines(dev, 8)
+	fs, err := core.Mount(dev, engines, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := redundancy.New(dev, ropts)
+	if err != nil {
+		return nil, err
+	}
+	tr.Format()
+	dev.SetDirtyFunc(tr.MarkDirty)
+
+	// Phase A: baseline data, then one full epoch so parity is fresh and
+	// committed == sealed (the pre-crash steady state). Everything here
+	// runs functionally (no runtime), like mount-time recovery.
+	if err := parityPhaseA(fs); err != nil {
+		return nil, err
+	}
+	ep := tr.OpenEpoch()
+	ep.Seal()
+	ep.Compute(nil)
+	ep.Persist()
+	ep.Advance()
+	if stale := tr.Verify(); stale != 0 {
+		return nil, fmt.Errorf("crashmonkey: %d stale stripes after baseline epoch", stale)
+	}
+
+	// Phase B: the crashed epoch. B1 stores batch into an epoch that
+	// seals (journal + sealedEpoch durable) but never persists; B2
+	// stores land in the next open epoch, captured only in the volatile
+	// dirty set — after the crash, nothing on the device names them.
+	dev.EnableTracking()
+	if err := parityPhaseB1(fs); err != nil {
+		return nil, err
+	}
+	ep = tr.OpenEpoch()
+	ep.Seal()
+	if err := parityPhaseB2(fs); err != nil {
+		ep.Abandon()
+		return nil, err
+	}
+	ep.Abandon() // the live tracker is done; the crash images carry the lag
+
+	rep := &ParityReport{}
+	check := func(applied []int, desc string) {
+		rep.CrashPoints++
+		img := dev.CrashImage(applied)
+		tr2, err := redundancy.New(img, ropts)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", desc, err))
+			return
+		}
+		rrep, err := redundancy.Recover(tr2)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: recover: %v", desc, err))
+			return
+		}
+		if rrep.LagEpochs > 0 {
+			rep.LaggedPoints++
+		}
+		if rrep.Stale > rrep.FlaggedStale {
+			rep.SilentStalePoints++
+		}
+		if rrep.Rebuilt != rrep.Stale {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: rebuilt %d of %d stale stripes", desc, rrep.Rebuilt, rrep.Stale))
+			return
+		}
+		if stale := tr2.Verify(); stale != 0 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %d stripes still stale after recovery", desc, stale))
+			return
+		}
+		if _, err := core.Mount(img, core.NewEngines(img, 8), core.Options{}); err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: post-recovery mount: %v", desc, err))
+			return
+		}
+		rep.Passed++
+	}
+
+	// The canonical mid-epoch crash: every tracked store durable, the
+	// epoch still unpersisted. This is the image whose recovery story
+	// (lag, flags, silent stale, digest) the regression test pins.
+	records := dev.Records()
+	{
+		img := dev.CrashImage(seqInts(len(records)))
+		tr2, err := redundancy.New(img, ropts)
+		if err != nil {
+			return nil, err
+		}
+		rrep, err := redundancy.Recover(tr2)
+		if err != nil {
+			return nil, err
+		}
+		rep.Full = rrep
+		rep.FullImageDigest = rrep.Digest
+	}
+
+	g := rng.New(cfg.Seed ^ 0x9a717)
+	bounds := dev.EpochBounds()
+	numEpochs := len(bounds) - 1
+
+	// Pass 1: every epoch-boundary prefix.
+	for e := 0; e <= numEpochs && rep.CrashPoints < cfg.TargetPoints; e++ {
+		cut := len(records)
+		if e < len(bounds) {
+			cut = bounds[min(e, len(bounds)-1)]
+		}
+		check(seqInts(cut), fmt.Sprintf("prefix-epoch-%d", e))
+	}
+
+	// Pass 2: sampled subsets inside each fence epoch (store reordering).
+	for rep.CrashPoints < cfg.TargetPoints {
+		e := g.Intn(numEpochs)
+		lo, hi := bounds[e], bounds[e+1]
+		if hi <= lo {
+			check(seqInts(lo), fmt.Sprintf("prefix-epoch-%d-resample", e))
+			continue
+		}
+		applied := seqInts(lo)
+		for i := lo; i < hi; i++ {
+			if g.Intn(2) == 0 {
+				applied = append(applied, i)
+			}
+		}
+		check(applied, fmt.Sprintf("epoch-%d-subset", e))
+	}
+	return rep, nil
+}
+
+// parityPhaseA writes the pre-crash baseline files.
+func parityPhaseA(fs *core.FS) error {
+	for i, n := range []int{24 << 10, 24 << 10} {
+		p := fmt.Sprintf("/par-%d", i)
+		f, err := fs.Create(nil, p)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.WriteAt(nil, f, 0, payload(byte('a'+i), n)); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// parityPhaseB1 is the batch the crashed epoch seals: an overwrite and a
+// new file, so the journal names both rewritten and fresh stripes.
+func parityPhaseB1(fs *core.FS) error {
+	f, err := fs.Open(nil, "/par-0")
+	if err != nil {
+		return err
+	}
+	if _, err := fs.WriteAt(nil, f, 0, payload('X', 16<<10)); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	f2, err := fs.Create(nil, "/par-2")
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	_, err = fs.WriteAt(nil, f2, 0, payload('N', 12<<10))
+	return err
+}
+
+// parityPhaseB2 is the open-epoch tail: stores captured only in the
+// volatile dirty set, so the crash leaves no persistent trace of them.
+func parityPhaseB2(fs *core.FS) error {
+	f, err := fs.Open(nil, "/par-1")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fs.WriteAt(nil, f, 4096, payload('Z', 8<<10))
+	return err
+}

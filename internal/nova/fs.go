@@ -38,6 +38,13 @@ type Options struct {
 	// entry carrying an SN is kept only if ValidateSN reports the SN
 	// durable in the corresponding completion buffer. Nil accepts all.
 	ValidateSN func(engineID, chanID int, sn uint64) bool
+	// Reserve withholds this many bytes (rounded up to a block) at the
+	// top of the device from the filesystem: Mkfs sizes the superblock
+	// to dev.Size()-Reserve, so the allocator never touches the tail.
+	// The redundancy layer keeps its parity region there. The reserve is
+	// crash-persistent (it is baked into the on-disk size), so Mount
+	// needs no matching option.
+	Reserve int64
 }
 
 func (o Options) withDefaults() Options {
@@ -82,13 +89,14 @@ type FS struct {
 // Mkfs formats the device: superblock, empty inode table, root directory.
 func Mkfs(dev *pmem.Device, opts Options) error {
 	opts = opts.withDefaults()
+	reserve := (opts.Reserve + BlockSize - 1) &^ (BlockSize - 1)
 	sb := superblock{
 		magic:     Magic,
-		size:      dev.Size(),
+		size:      dev.Size() - reserve,
 		numInodes: opts.NumInodes,
 		dataOff:   dataOffFor(opts.NumInodes),
 	}
-	if sb.dataOff+16*BlockSize > dev.Size() {
+	if sb.dataOff+16*BlockSize > sb.size {
 		return ErrNoSpace
 	}
 	// Invalidate the journal and all inode slots before publishing the
@@ -150,6 +158,11 @@ func Mount(dev *pmem.Device, mover DataMover, opts Options) (*FS, error) {
 
 // Device returns the underlying slow-memory device.
 func (fs *FS) Device() *pmem.Device { return fs.dev }
+
+// Size returns the filesystem's on-disk size in bytes — dev.Size() minus
+// any Mkfs-time Reserve. Bytes at and above Size belong to whoever made
+// the reservation (the redundancy parity region).
+func (fs *FS) Size() int64 { return fs.sb.size }
 
 // CPUCosts returns the software cost profile in effect.
 func (fs *FS) CPUCosts() perfmodel.CPU { return fs.cpu }
@@ -443,7 +456,7 @@ func (fs *FS) Unlink(t *caladan.Task, path string) error {
 	if target.IsDir() {
 		return ErrIsDir
 	}
-	target.Mu.Lock(t) //easyio:allow lockorder (hierarchical order within the Inode.Mu class: the parent directory's lock always precedes its non-directory child's — the IsDir guard above rules out dir/dir nesting, so no inverse pair can form)
+	target.Mu.Lock(t) //easyio:allow lockorder (hierarchical order within the shared-guarded Inode.Mu class: the parent directory's lock always precedes its non-directory child's — the IsDir guard above rules out dir/dir nesting, so no inverse pair can form)
 	defer target.Mu.Unlock()
 	tail := fs.AppendEntries(dir, []*Entry{{Type: etDentryDel, Ino: num, Name: name, Mtime: fs.Now()}})
 	fs.CommitTail(dir, tail)

@@ -143,6 +143,15 @@ type Device struct {
 	records  []PersistRecord
 	epoch    int
 	base     map[int64]*[pageSize]byte
+
+	// dirtyFn, when set, observes every store ([off, off+n)) before it
+	// lands — the redundancy layer's epoch dirty capture. It must be
+	// allocation-free and must not store through the device (the
+	// redundancy tracker filters its own parity region to break the
+	// cycle). A dynamic call here is a counted summary hole on the
+	// hot paths that reach WriteAt; the callback itself carries its own
+	// //easyio:hotpath contract (redundancy.Tracker.MarkDirty).
+	dirtyFn func(off int64, n int)
 }
 
 // New creates a device of the given byte size.
@@ -156,6 +165,12 @@ func New(eng *sim.Engine, model perfmodel.Memory, size int64) *Device {
 	d.completeDueFn = d.completeDue
 	return d
 }
+
+// SetDirtyFunc installs (or, with nil, removes) the store observer the
+// redundancy layer uses for dirty-page capture. At most one observer is
+// supported; fn sees every WriteAt before the bytes land, including DMA
+// completions and crash-tracking marker stores.
+func (d *Device) SetDirtyFunc(fn func(off int64, n int)) { d.dirtyFn = fn }
 
 // Engine returns the simulation engine the device is bound to.
 func (d *Device) Engine() *sim.Engine { return d.eng }
@@ -205,6 +220,9 @@ func (d *Device) WriteAt(off int64, b []byte) {
 	}
 	if d.tracking {
 		d.record(off, b)
+	}
+	if d.dirtyFn != nil {
+		d.dirtyFn(off, len(b))
 	}
 	for len(b) > 0 {
 		pg, po := off/pageSize, off%pageSize

@@ -1,0 +1,253 @@
+package redundancy
+
+import (
+	"sort"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// Epoch state machine. One epoch is in flight at a time; the Tracker's
+// auto worker drives the same handle internally, and external drivers
+// (crashmonkey, benches, tests) are checked against the parityepoch
+// typestate protocol: open -> sealed -> computed -> persisted ->
+// advanced, Abandon from any state.
+const (
+	epOpen = iota
+	epSealed
+	epComputed
+	epPersisted
+	epAdvanced
+)
+
+// Epoch is one redundancy epoch: a snapshot of the dirty stripe set on
+// its way to durable parity. Obtain one from Tracker.OpenEpoch and drive
+// it through Seal/Compute/Persist/Advance (or Abandon it).
+type Epoch struct {
+	t     *Tracker
+	state int
+	// n is the epoch number assigned at Seal.
+	n uint64
+	// list/bits are the sealed dirty set, swapped out of the tracker at
+	// Seal and recycled at Advance.
+	list []uint32
+	bits []uint64
+}
+
+// N returns the epoch number (0 before Seal).
+func (ep *Epoch) N() uint64 { return ep.n }
+
+// Stripes returns the sealed dirty stripe count.
+func (ep *Epoch) Stripes() int { return len(ep.list) }
+
+// OpenEpoch hands out the (single) epoch handle in the open state. The
+// open epoch is implicit — dirty capture is always running — so this
+// only stamps the handle; a second OpenEpoch before Advance/Abandon
+// panics, because two epochs would race for the one dirty snapshot.
+func (t *Tracker) OpenEpoch() *Epoch {
+	if t.inEpoch {
+		panic("redundancy: epoch already in flight (Advance or Abandon the previous one)")
+	}
+	t.inEpoch = true
+	ep := t.pool
+	ep.state = epOpen
+	ep.n = 0
+	return ep
+}
+
+func (ep *Epoch) require(state int, op string) {
+	if ep.state != state {
+		panic("redundancy: " + op + " in wrong epoch state")
+	}
+}
+
+// Seal snapshots the open dirty set and makes the epoch's intent
+// durable: journal entries (sorted stripe ids), then a fence, then the
+// sealedEpoch bump and journal length, then a second fence. A crash
+// between the fences leaves committed == sealed, so the half-written
+// journal is ignored; a crash after leaves committed < sealed, and
+// recovery reads the journal as the expected-stale set.
+func (ep *Epoch) Seal() {
+	ep.require(epOpen, "Seal")
+	t := ep.t
+	// Swap the capture buffers so foreground stores keep landing in a
+	// clean open set while this epoch computes.
+	ep.list, t.dirty = t.dirty, t.spareList[:0]
+	ep.bits, t.bits = t.bits, t.spareBits
+	// Canonical on-disk order (capture order is deterministic too, but
+	// sorted ids make the journal — and every digest over it — layout-
+	// stable against capture-path refactors).
+	sort.Slice(ep.list, func(i, j int) bool { return ep.list[i] < ep.list[j] })
+	cap64 := int64(t.opts.JournalPages) * PageSize / 8
+	jlen := uint64(len(ep.list))
+	if int64(len(ep.list)) > cap64 {
+		jlen = journalOverflow
+	} else {
+		for i, s := range ep.list {
+			t.dev.Write8(t.journalOff+int64(i)*8, uint64(s))
+		}
+	}
+	t.dev.Fence()
+	ep.n = t.sealedEpoch + 1
+	t.sealedEpoch = ep.n
+	t.dev.Write8(t.regionOff+offSealed, ep.n)
+	t.dev.Write8(t.regionOff+offJournalLen, jlen)
+	t.dev.Fence()
+	ep.state = epSealed
+}
+
+// Compute rebuilds the XOR parity page of every sealed stripe. With a
+// task and a channel manager, data pages stream in through DMA reads —
+// the throttled B channel under PolicyEpoch (CHANCMD suspension is the
+// admission control), the foreground L channels under PolicyEager — and
+// the XOR itself charges CPU on the worker's core. Stripes computed
+// past the epoch's escalation deadline (half the delay bound) leave the
+// B channel for the L channels so the freshness bound holds even when
+// bulk traffic saturates B. With a nil task (or no manager) it falls
+// back to direct functional reads with no timing, the recovery/test
+// path.
+func (ep *Epoch) Compute(task *caladan.Task) {
+	ep.require(epSealed, "Compute")
+	t := ep.t
+	if task != nil && t.mgr != nil {
+		// Pipeline the DMA reads: up to computeWindow stripes' pages are
+		// in flight before the worker parks, so the epoch's wall-clock
+		// is bounded by bandwidth, not per-stripe round trips.
+		for i := 0; i < len(ep.list); i += computeWindow {
+			j := i + computeWindow
+			if j > len(ep.list) {
+				j = len(ep.list)
+			}
+			t.computeWindowDMA(task, ep.list[i:j])
+		}
+	} else {
+		for _, s := range ep.list {
+			t.computeStripeDirect(int64(s))
+		}
+	}
+	ep.state = epComputed
+}
+
+// computeWindowDMA reads a window of stripes through the channel manager
+// (one descriptor per data page, all in flight together), then XORs and
+// writes each stripe's parity page.
+func (t *Tracker) computeWindowDMA(task *caladan.Task, stripes []uint32) {
+	k := t.opts.Width
+	di := 0
+	for _, s := range stripes {
+		ref := t.mgr.BChannel()
+		if t.opts.Policy == PolicyEager {
+			ref = t.mgr.NextWriteChan()
+		} else if t.deadline != 0 && task.Now() > t.deadline {
+			// The epoch is at risk of missing its freshness bound: a
+			// saturated (or budget-suspended) B channel queues parity
+			// reads behind megabytes of bulk writes. Escalate this
+			// stripe to the foreground L channels — bounded staleness
+			// beats free parity.
+			ref = t.mgr.NextWriteChan()
+			t.EscalatedStripes++
+		}
+		batch := t.descs[di : di+k]
+		for i := 0; i < k; i++ {
+			d := batch[i]
+			d.Write = false
+			d.PMOff = t.stripeDataOff(int64(s), i)
+			d.Buf = t.readBuf[(di+i)*PageSize : (di+i+1)*PageSize]
+			d.Size = PageSize
+			d.OnComplete = t.onReadFn
+		}
+		di += k
+		t.pend += k
+		for {
+			if _, err := ref.Chan.Submit(batch...); err == nil {
+				break
+			}
+			task.Sleep(sim.Microsecond) // ring full: back off and retry
+		}
+	}
+	for t.pend > 0 {
+		task.Park()
+	}
+	for wi, s := range stripes {
+		t.finishStripe(int64(s), t.readBuf[wi*k*PageSize:(wi*k+k)*PageSize])
+		task.Compute(t.opts.XORPerPage * sim.Duration(k+1))
+	}
+}
+
+// computeStripeDirect is the no-runtime path (recovery, tests): direct
+// functional reads, no timing charges.
+func (t *Tracker) computeStripeDirect(s int64) {
+	k := t.opts.Width
+	for i := 0; i < k; i++ {
+		t.dev.ReadAt(t.readBuf[i*PageSize:(i+1)*PageSize], t.stripeDataOff(s, i))
+	}
+	t.finishStripe(s, t.readBuf[:k*PageSize])
+}
+
+// finishStripe XORs a stripe's k pages (already in pages) into the
+// parity page and accounts for it.
+func (t *Tracker) finishStripe(s int64, pages []byte) {
+	k := t.opts.Width
+	t.DataBytesRead += int64(k) * PageSize
+	for i := range t.xorBuf {
+		t.xorBuf[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		xorInto(t.xorBuf, pages[i*PageSize:(i+1)*PageSize])
+	}
+	t.dev.WriteAt(t.stripeParityOff(s), t.xorBuf)
+	t.StripesParity++
+	t.ParityBytes += PageSize
+}
+
+// Persist makes the epoch's parity durable and commits it: fence the
+// parity pages, advance committedEpoch, fence, then clear the journal
+// length (ordering: the journal may only be retired once committed ==
+// sealed is durable, or a crash would lose the expected-stale set).
+func (ep *Epoch) Persist() {
+	ep.require(epComputed, "Persist")
+	t := ep.t
+	t.dev.Fence()
+	t.committedEpoch = ep.n
+	t.dev.Write8(t.regionOff+offCommitted, ep.n)
+	t.dev.Fence()
+	t.dev.Write8(t.regionOff+offJournalLen, 0)
+	t.dev.Fence()
+	ep.state = epPersisted
+}
+
+// Advance retires the epoch: the sealed bitmap is scrubbed clean (by
+// sealed-list walk, not a full clear) and the buffers return to the
+// tracker for the next epoch.
+func (ep *Epoch) Advance() {
+	ep.require(epPersisted, "Advance")
+	ep.retire()
+	ep.t.Epochs++
+}
+
+// Abandon drops the epoch from any state without persisting anything —
+// the crash-harness escape. A sealed-but-abandoned epoch leaves
+// committed < sealed on the device, exactly the stale-parity state
+// recovery detects.
+func (ep *Epoch) Abandon() {
+	if ep.state == epAdvanced {
+		return
+	}
+	ep.retire()
+}
+
+func (ep *Epoch) retire() {
+	t := ep.t
+	if ep.bits != nil {
+		// This epoch sealed: its buffers were swapped out of the
+		// tracker. Zero the set bits and hand them back as spares.
+		for _, s := range ep.list {
+			ep.bits[s>>6] &^= uint64(1) << (uint64(s) & 63)
+		}
+		t.spareBits = ep.bits
+		t.spareList = ep.list[:0]
+		ep.bits, ep.list = nil, nil
+	}
+	ep.state = epAdvanced
+	t.inEpoch = false
+}

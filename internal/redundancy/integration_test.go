@@ -1,0 +1,125 @@
+package redundancy
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/nova"
+	"github.com/easyio-sim/easyio/internal/perfmodel"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// runStack runs a small foreground write workload on a full EasyIO
+// stack with a parity tracker attached, and returns the tracker plus
+// the device for post-run inspection.
+func runStack(t *testing.T, opts Options, seed uint64) (*Tracker, *pmem.Device) {
+	t.Helper()
+	const devSize = 32 << 20
+	// Cover data + inode table but not the DMA completion buffers below
+	// it: the CB region is device-side channel state, rewritten by every
+	// completion (including the parity reads' own).
+	opts.CoverStart = nova.InodeTableOff
+	eng := sim.NewEngine()
+	dev := pmem.New(eng, perfmodel.System(), devSize)
+	coreOpts := core.Options{Nova: nova.Options{
+		NumInodes: 512,
+		Reserve:   ReserveFor(devSize, opts),
+	}}
+	if err := core.Format(dev, coreOpts); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mount(dev, core.NewEngines(dev, 8), coreOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RegionOff() > fs.Size() {
+		t.Fatalf("parity region [%d,...) overlaps nothing: nova ends at %d", tr.RegionOff(), fs.Size())
+	}
+	tr.Format()
+
+	rt := caladan.New(eng, caladan.Options{Cores: 2, Seed: seed})
+	fs.Manager().Start()
+	tr.Start(rt, fs.Manager())
+
+	rt.Spawn(1, "writer", func(task *caladan.Task) {
+		f, err := fs.Create(task, "/data")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := bytes.Repeat([]byte{0xee}, 64<<10)
+		for i := 0; i < 12; i++ {
+			buf[0] = byte(i) // distinct pages so parity is non-trivial
+			if _, err := fs.WriteAtClass(task, f, int64(i)*(64<<10), buf, core.ClassL); err != nil {
+				t.Error(err)
+				return
+			}
+			task.Sleep(200 * sim.Microsecond)
+		}
+		// Close while capture is still on, then let the tracker drain
+		// the final epoch before the clock stops.
+		f.Close()
+		task.Sleep(8 * opts.EpochLen)
+		tr.Stop()
+		fs.Manager().Stop()
+	})
+	eng.Run()
+	eng.Shutdown()
+	return tr, dev
+}
+
+func TestEpochPolicyEndToEnd(t *testing.T) {
+	opts := Options{EpochLen: 300 * sim.Microsecond}.withDefaults()
+	tr, _ := runStack(t, opts, 7)
+	if tr.Epochs == 0 || tr.StripesParity == 0 {
+		t.Fatalf("no parity work ran: epochs=%d stripes=%d", tr.Epochs, tr.StripesParity)
+	}
+	if tr.CommittedEpoch() != tr.SealedEpoch() {
+		t.Fatalf("drained run still lags: sealed %d committed %d", tr.SealedEpoch(), tr.CommittedEpoch())
+	}
+	if tr.DirtyStripes() != 0 {
+		t.Fatalf("drained run left %d dirty stripes", tr.DirtyStripes())
+	}
+	if tr.MaxLag > opts.DelayBound {
+		t.Fatalf("freshness lag %v exceeds delay bound %v", tr.MaxLag, opts.DelayBound)
+	}
+	if stale := tr.Verify(); stale != 0 {
+		t.Fatalf("%d stale stripes after drained run", stale)
+	}
+}
+
+func TestEagerPolicyEndToEnd(t *testing.T) {
+	opts := Options{Policy: PolicyEager, EpochLen: 300 * sim.Microsecond}.withDefaults()
+	tr, _ := runStack(t, opts, 7)
+	if tr.Epochs == 0 {
+		t.Fatal("eager policy ran no epochs")
+	}
+	if stale := tr.Verify(); stale != 0 {
+		t.Fatalf("%d stale stripes after eager run", stale)
+	}
+	// Eager batches are per-touch, so it needs (weakly) more epochs
+	// than the same workload under 300µs batching.
+	batched, _ := runStack(t, Options{EpochLen: 300 * sim.Microsecond}, 7)
+	if tr.Epochs < batched.Epochs {
+		t.Fatalf("eager ran %d epochs, batched %d", tr.Epochs, batched.Epochs)
+	}
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (int64, int64, sim.Duration) {
+		tr, _ := runStack(t, Options{EpochLen: 300 * sim.Microsecond}, 11)
+		return tr.Epochs, tr.ParityBytes, tr.MaxLag
+	}
+	e1, b1, l1 := run()
+	e2, b2, l2 := run()
+	if e1 != e2 || b1 != b2 || l1 != l2 {
+		t.Fatalf("nondeterministic: (%d,%d,%v) vs (%d,%d,%v)", e1, b1, l1, e2, b2, l2)
+	}
+}

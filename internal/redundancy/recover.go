@@ -1,0 +1,170 @@
+package redundancy
+
+import (
+	"hash/fnv"
+)
+
+// RecoverReport is what a post-crash parity scan found and fixed.
+type RecoverReport struct {
+	SealedEpoch    uint64
+	CommittedEpoch uint64
+	// LagEpochs is sealed-committed at crash time: >0 means a sealed
+	// epoch's parity never became durable and its journal named the
+	// expected-stale stripes.
+	LagEpochs uint64
+	// JournalOverflow reports the sealed set exceeded the journal, so
+	// every stripe was treated as suspect.
+	JournalOverflow bool
+	// Flagged is the number of stripes the journal named stale.
+	Flagged int64
+	// Stale is the number of stripes whose parity actually mismatched
+	// the data (journal-flagged ones plus open-epoch casualties whose
+	// volatile dirty set died with the crash).
+	Stale int64
+	// Rebuilt is the number of parity pages rewritten (== Stale).
+	Rebuilt int64
+	// FlaggedStale counts mismatches the journal predicted — the
+	// crash-story sanity split between expected and silent staleness.
+	FlaggedStale int64
+	// Digest is an FNV-64a over the repaired parity region (counters,
+	// journal length, every parity page), deterministic for a given
+	// crash image; the crashmonkey regression test pins it.
+	Digest uint64
+}
+
+// Recover scans the parity region after a crash (or at any mount): it
+// reads the epoch counters, flags the seal journal's stripes when the
+// committed epoch lags the sealed one, then scrubs every covered stripe
+// — recomputing XOR from the data pages and rewriting any parity page
+// that mismatches. The scrub is what catches the open epoch's staleness:
+// stores captured only in the volatile dirty set leave no persistent
+// trace, so lag == 0 does not mean parity is fresh. On return the
+// region is fully consistent and committed == sealed.
+//
+// Recovery runs before any runtime exists (functional reads, no DMA, no
+// virtual-time charges), mirroring nova's mount-time recovery.
+func Recover(t *Tracker) (*RecoverReport, error) {
+	if err := t.Load(); err != nil {
+		return nil, err
+	}
+	rep := &RecoverReport{
+		SealedEpoch:    t.sealedEpoch,
+		CommittedEpoch: t.committedEpoch,
+	}
+	if t.sealedEpoch > t.committedEpoch {
+		rep.LagEpochs = t.sealedEpoch - t.committedEpoch
+	}
+
+	// The journal is only meaningful while an epoch is sealed
+	// uncommitted; otherwise its length is stale leftovers or zero.
+	flagged := map[int64]bool{}
+	if rep.LagEpochs > 0 {
+		jlen := t.dev.Read8(t.regionOff + offJournalLen)
+		if jlen == journalOverflow {
+			rep.JournalOverflow = true
+			rep.Flagged = t.stripes
+		} else {
+			cap64 := uint64(t.opts.JournalPages) * PageSize / 8
+			if jlen > cap64 {
+				jlen = cap64 // torn length: scrub decides, flags are advisory
+			}
+			for i := uint64(0); i < jlen; i++ {
+				s := int64(t.dev.Read8(t.journalOff + int64(i)*8))
+				if s >= 0 && s < t.stripes && !flagged[s] {
+					flagged[s] = true
+					rep.Flagged++
+				}
+			}
+		}
+	}
+
+	// Full scrub: recompute every stripe's parity and compare. The
+	// journal's flags only grade the crash story (FlaggedStale); the
+	// scrub alone decides what gets rebuilt.
+	k := t.opts.Width
+	for s := int64(0); s < t.stripes; s++ {
+		for i := range t.xorBuf {
+			t.xorBuf[i] = 0
+		}
+		for i := 0; i < k; i++ {
+			t.dev.ReadAt(t.readBuf[i*PageSize:(i+1)*PageSize], t.stripeDataOff(s, i))
+			xorInto(t.xorBuf, t.readBuf[i*PageSize:(i+1)*PageSize])
+		}
+		t.dev.ReadAt(t.readBuf[:PageSize], t.stripeParityOff(s))
+		if !pagesEqual(t.xorBuf, t.readBuf[:PageSize]) {
+			rep.Stale++
+			if rep.JournalOverflow || flagged[s] {
+				rep.FlaggedStale++
+			}
+			t.dev.WriteAt(t.stripeParityOff(s), t.xorBuf)
+			rep.Rebuilt++
+		}
+	}
+	t.dev.Fence()
+
+	// Commit the repaired state: parity now matches data everywhere.
+	if t.committedEpoch != t.sealedEpoch {
+		t.committedEpoch = t.sealedEpoch
+		t.dev.Write8(t.regionOff+offCommitted, t.committedEpoch)
+		t.dev.Fence()
+	}
+	t.dev.Write8(t.regionOff+offJournalLen, 0)
+	t.dev.Fence()
+
+	rep.Digest = t.parityDigest()
+	return rep, nil
+}
+
+// parityDigest folds the epoch counters and every parity page into one
+// FNV-64a value. Deterministic for a given device image.
+func (t *Tracker) parityDigest() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put8 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put8(t.dev.Read8(t.regionOff + offSealed))
+	put8(t.dev.Read8(t.regionOff + offCommitted))
+	put8(t.dev.Read8(t.regionOff + offJournalLen))
+	buf := t.readBuf[:PageSize]
+	for s := int64(0); s < t.stripes; s++ {
+		t.dev.ReadAt(buf, t.stripeParityOff(s))
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// Verify scrubs without rebuilding: it returns the number of stripes
+// whose parity mismatches the data. Zero means every covered byte is
+// reconstructable.
+func (t *Tracker) Verify() int64 {
+	k := t.opts.Width
+	var stale int64
+	for s := int64(0); s < t.stripes; s++ {
+		for i := range t.xorBuf {
+			t.xorBuf[i] = 0
+		}
+		for i := 0; i < k; i++ {
+			t.dev.ReadAt(t.readBuf[i*PageSize:(i+1)*PageSize], t.stripeDataOff(s, i))
+			xorInto(t.xorBuf, t.readBuf[i*PageSize:(i+1)*PageSize])
+		}
+		t.dev.ReadAt(t.readBuf[:PageSize], t.stripeParityOff(s))
+		if !pagesEqual(t.xorBuf, t.readBuf[:PageSize]) {
+			stale++
+		}
+	}
+	return stale
+}
+
+func pagesEqual(a, b []byte) bool {
+	for i := 0; i < PageSize; i += 8 {
+		if a[i] != b[i] || a[i+1] != b[i+1] || a[i+2] != b[i+2] || a[i+3] != b[i+3] ||
+			a[i+4] != b[i+4] || a[i+5] != b[i+5] || a[i+6] != b[i+6] || a[i+7] != b[i+7] {
+			return false
+		}
+	}
+	return true
+}

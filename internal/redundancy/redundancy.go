@@ -1,0 +1,472 @@
+// Package redundancy adds Vilamb-style asynchronous, epoch-batched page
+// parity to the EasyIO stack: foreground stores are captured as dirty
+// stripes (a hook below nova, in pmem.Device.WriteAt, sees every store
+// including DMA completions), batched into numbered redundancy epochs,
+// and XOR parity is recomputed in the harvested windows — a parity
+// uthread that parks between epochs and DMA reads issued through the
+// channel manager's throttled B channel, so admission control squeezes
+// parity work out of the way of foreground traffic instead of letting it
+// inflate the latency-critical tenant's p99.
+//
+// The freshness contract is Vilamb's: parity for an epoch's dirty pages
+// becomes durable at most one epoch (plus compute time) after the data,
+// and the lag is bounded, observable, and reported to the channel
+// manager as a latency app (RegisterLApp/Report). Crash recovery reads
+// the parity superblock: committedEpoch < sealedEpoch flags the sealed
+// journal's stripes as expected-stale, and a full scrub catches the
+// stripes dirtied in the open (never-sealed) epoch whose volatile dirty
+// set died with the crash. Recovery rebuilds every stale stripe and
+// returns a deterministic digest of the repaired parity region.
+//
+// On-device layout (inside the nova Mkfs Reserve, at the top of the
+// device, all offsets relative to the region start = nova's FS size):
+//
+//	page 0                  parity superblock (magic, width, stripe
+//	                        count, cover end, sealedEpoch,
+//	                        committedEpoch, journalLen, cover start)
+//	pages 1..J              seal journal: stripe ids (8 B each) of the
+//	                        sealed-but-uncommitted epoch
+//	pages J+1..J+stripes    one 4 KB XOR parity page per stripe; stripe
+//	                        s covers the K data pages starting at
+//	                        CoverStart + s*K*4096
+//
+// The epoch lifecycle is a typestate protocol (parityepoch in
+// internal/analysis/protocols.go): open -> sealed -> computed ->
+// persisted -> advanced, with Abandon as the any-state escape for crash
+// harnesses. This package implements the subject, so it is exempt from
+// the automaton; external drivers (crashmonkey, benches, tests) are
+// machine-checked.
+package redundancy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/easyio-sim/easyio/internal/caladan"
+	"github.com/easyio-sim/easyio/internal/core"
+	"github.com/easyio-sim/easyio/internal/dma"
+	"github.com/easyio-sim/easyio/internal/pmem"
+	"github.com/easyio-sim/easyio/internal/sim"
+)
+
+// PageSize is the parity granule, matching nova's block size.
+const PageSize = 4096
+
+// Magic identifies an initialized parity region ("EIOPRTY1").
+const Magic = uint64(0x4549_4f50_5254_5931)
+
+// Parity superblock field offsets (8-byte little-endian each).
+const (
+	offMagic      = 0
+	offWidth      = 8
+	offStripes    = 16
+	offCoverEnd   = 24
+	offSealed     = 32
+	offCommitted  = 40
+	offJournalLen = 48
+	offCoverStart = 56
+)
+
+// journalOverflow is the journalLen sentinel for a sealed dirty set that
+// exceeded the journal capacity: recovery must treat every stripe as
+// suspect.
+const journalOverflow = ^uint64(0)
+
+// computeWindow is how many stripes' DMA reads the compute path keeps in
+// flight at once: enough to make an epoch bandwidth-bound instead of
+// round-trip-bound, small enough that the scratch buffers stay modest
+// (window * width pages).
+const computeWindow = 4
+
+// Policy selects when parity is recomputed.
+type Policy string
+
+const (
+	// PolicyEpoch is the Vilamb design: dirty stripes batch for one
+	// epoch, then recompute over the throttled B channel.
+	PolicyEpoch Policy = "epoch"
+	// PolicyEager is the contrast baseline: every dirtied stripe is
+	// recomputed immediately on the foreground L channels, competing
+	// with latency-critical traffic.
+	PolicyEager Policy = "eager"
+)
+
+// Options sizes and paces the parity subsystem.
+type Options struct {
+	// Width is K, the data pages per parity stripe (power of two,
+	// default 8). Wider stripes cost less space and more rebuild reads.
+	Width int
+	// EpochLen is the batching interval for PolicyEpoch (default 500µs).
+	EpochLen sim.Duration
+	// DelayBound is the freshness target registered with the channel
+	// manager: parity for a store should be durable within this bound
+	// (default 4x EpochLen — one batching wait plus compute headroom).
+	DelayBound sim.Duration
+	// JournalPages sizes the seal journal (default 16 pages = 8192
+	// stripe ids); sealed sets past that overflow to scrub-everything.
+	JournalPages int
+	// Policy picks epoch batching or the eager baseline.
+	Policy Policy
+	// XORPerPage is the CPU cost charged per 4 KB page XORed
+	// (default 1µs, ~4 GB/s single-core).
+	XORPerPage sim.Duration
+	// Core hosts the parity worker uthread (default 0).
+	Core int
+	// CoverStart is where parity coverage begins (rounded up to a stripe
+	// boundary; default 0 = whole device). Stacks set it past the FS
+	// metadata prefix — in particular past the DMA completion-buffer
+	// region, which device-side channel state rewrites on every
+	// completion, including the parity reads' own: covering it would
+	// re-dirty a stripe per epoch and the dirty set could never drain.
+	// Vilamb likewise protects data pages, not device state.
+	CoverStart int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 8
+	}
+	if o.EpochLen == 0 {
+		o.EpochLen = 500 * sim.Microsecond
+	}
+	if o.DelayBound == 0 {
+		o.DelayBound = 4 * o.EpochLen
+	}
+	if o.JournalPages == 0 {
+		o.JournalPages = 16
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyEpoch
+	}
+	if o.XORPerPage == 0 {
+		o.XORPerPage = sim.Microsecond
+	}
+	stripeBytes := int64(o.Width) * PageSize
+	o.CoverStart = (o.CoverStart + stripeBytes - 1) &^ (stripeBytes - 1)
+	return o
+}
+
+// ReserveFor returns the byte reserve (whole pages) a device of devSize
+// needs for the parity region covering everything below it: superblock +
+// journal + one parity page per stripe of the covered prefix.
+func ReserveFor(devSize int64, opts Options) int64 {
+	opts = opts.withDefaults()
+	stripeBytes := int64(opts.Width) * PageSize
+	// The covered extent is stripe-aligned (so the last stripe's data
+	// pages never reach into the parity region) and each covered stripe
+	// costs one parity page on top of the fixed superblock + journal:
+	// the largest S with S*(stripeBytes+PageSize) <= devSize - cover
+	// start - fixed.
+	avail := devSize - opts.CoverStart - (1+int64(opts.JournalPages))*PageSize
+	if avail <= 0 {
+		return devSize
+	}
+	stripes := avail / (stripeBytes + PageSize)
+	return devSize - opts.CoverStart - stripes*stripeBytes
+}
+
+// Tracker owns the parity region of one device: dirty-stripe capture,
+// the epoch state machine, and the recovery entry point.
+type Tracker struct {
+	dev  *pmem.Device
+	eng  *sim.Engine
+	opts Options
+
+	// Region geometry (regionOff doubles as the cover end: every store
+	// in [coverStart, regionOff) is parity-protected; stores below the
+	// cover start hit the uncovered FS metadata prefix, stores at or
+	// above the region are the tracker's own metadata — both excluded
+	// from capture).
+	coverStart  int64
+	regionOff   int64
+	journalOff  int64
+	parityOff   int64
+	stripes     int64
+	stripeShift uint // log2(Width * PageSize)
+
+	// Open-epoch dirty capture (volatile; double-buffered at Seal so
+	// capture continues while the sealed set computes).
+	bits      []uint64
+	dirty     []uint32
+	spareBits []uint64
+	spareList []uint32
+
+	// QoS integration: parity DMA goes through mgr's B channel (epoch
+	// policy) or the L write channels (eager), and lapp reports each
+	// epoch's freshness lag into the manager's accounting.
+	mgr  *core.Manager
+	lapp *core.LApp
+
+	rt       *caladan.Runtime
+	ut       *caladan.UThread
+	wake     func()
+	stopping bool
+	inEpoch  bool
+	// deadline is the running epoch's escalation point (half the delay
+	// bound past its start): stripes computed after it stop waiting for
+	// the throttled B channel and escalate to the foreground L channels,
+	// trading tail tax for the freshness bound.
+	deadline sim.Time
+
+	// Epoch counters mirrored from the superblock.
+	sealedEpoch    uint64
+	committedEpoch uint64
+
+	// Compute scratch, reused across stripes (no steady-state allocs).
+	readBuf  []byte
+	xorBuf   []byte
+	descs    []*dma.Desc
+	pend     int
+	onReadFn func(sn uint64)
+	pool     *Epoch
+
+	// Stats the benches report (virtual-time observables).
+	Epochs        int64
+	StripesParity int64
+	ParityBytes   int64
+	DataBytesRead int64
+	// EscalatedStripes counts stripes whose reads left the throttled B
+	// channel for the foreground L channels to honor the delay bound.
+	EscalatedStripes int64
+	MaxLag           sim.Duration
+	lagSum           sim.Duration
+	LagCount         int64
+}
+
+// New lays out (but does not format) the parity region at the top of
+// dev, covering [CoverStart, dev.Size()-ReserveFor(...)).
+func New(dev *pmem.Device, opts Options) (*Tracker, error) {
+	opts = opts.withDefaults()
+	if opts.Width&(opts.Width-1) != 0 {
+		return nil, fmt.Errorf("redundancy: width %d is not a power of two", opts.Width)
+	}
+	reserve := ReserveFor(dev.Size(), opts)
+	t := &Tracker{
+		dev:        dev,
+		eng:        dev.Engine(),
+		opts:       opts,
+		coverStart: opts.CoverStart,
+		regionOff:  dev.Size() - reserve,
+	}
+	if t.regionOff <= t.coverStart {
+		return nil, errors.New("redundancy: device too small for a parity region")
+	}
+	t.journalOff = t.regionOff + PageSize
+	t.parityOff = t.journalOff + int64(opts.JournalPages)*PageSize
+	t.stripes = (t.regionOff - t.coverStart) / (int64(opts.Width) * PageSize)
+	shift := uint(12)
+	for w := opts.Width; w > 1; w >>= 1 {
+		shift++
+	}
+	t.stripeShift = shift
+	words := (t.stripes + 63) / 64
+	t.bits = make([]uint64, words)
+	t.spareBits = make([]uint64, words)
+	t.readBuf = make([]byte, computeWindow*opts.Width*PageSize)
+	t.xorBuf = make([]byte, PageSize)
+	t.descs = make([]*dma.Desc, computeWindow*opts.Width)
+	for i := range t.descs {
+		t.descs[i] = &dma.Desc{}
+	}
+	t.onReadFn = t.onRead
+	t.pool = &Epoch{t: t, state: epAdvanced}
+	return t, nil
+}
+
+// Format initializes the parity superblock. All-zero parity pages are
+// correct for a zeroed (or sparsely-written) device: XOR of zero data is
+// zero, so Format needs no parity pass.
+func (t *Tracker) Format() {
+	t.dev.Write8(t.regionOff+offMagic, Magic)
+	t.dev.Write8(t.regionOff+offWidth, uint64(t.opts.Width))
+	t.dev.Write8(t.regionOff+offStripes, uint64(t.stripes))
+	t.dev.Write8(t.regionOff+offCoverEnd, uint64(t.regionOff))
+	t.dev.Write8(t.regionOff+offSealed, 0)
+	t.dev.Write8(t.regionOff+offCommitted, 0)
+	t.dev.Write8(t.regionOff+offJournalLen, 0)
+	t.dev.Write8(t.regionOff+offCoverStart, uint64(t.coverStart))
+	t.dev.Fence()
+	t.sealedEpoch, t.committedEpoch = 0, 0
+}
+
+// Load reads the superblock of an already-formatted region (mount path).
+func (t *Tracker) Load() error {
+	if t.dev.Read8(t.regionOff+offMagic) != Magic {
+		return errors.New("redundancy: no parity superblock (region not formatted)")
+	}
+	if w := t.dev.Read8(t.regionOff + offWidth); w != uint64(t.opts.Width) {
+		return fmt.Errorf("redundancy: on-disk stripe width %d, configured %d", w, t.opts.Width)
+	}
+	if s := t.dev.Read8(t.regionOff + offStripes); s != uint64(t.stripes) {
+		return fmt.Errorf("redundancy: on-disk stripe count %d, layout %d", s, t.stripes)
+	}
+	if cs := t.dev.Read8(t.regionOff + offCoverStart); cs != uint64(t.coverStart) {
+		return fmt.Errorf("redundancy: on-disk cover start %d, configured %d", cs, t.coverStart)
+	}
+	t.sealedEpoch = t.dev.Read8(t.regionOff + offSealed)
+	t.committedEpoch = t.dev.Read8(t.regionOff + offCommitted)
+	return nil
+}
+
+// RegionOff returns the parity region's start offset (= the cover end).
+func (t *Tracker) RegionOff() int64 { return t.regionOff }
+
+// Stripes returns the number of covered parity stripes.
+func (t *Tracker) Stripes() int64 { return t.stripes }
+
+// SealedEpoch returns the highest epoch whose journal is durable.
+func (t *Tracker) SealedEpoch() uint64 { return t.sealedEpoch }
+
+// CommittedEpoch returns the highest epoch whose parity is durable.
+func (t *Tracker) CommittedEpoch() uint64 { return t.committedEpoch }
+
+// DirtyStripes reports the open epoch's captured stripe count.
+func (t *Tracker) DirtyStripes() int { return len(t.dirty) }
+
+// MeanLag returns the mean seal-to-persist freshness lag.
+func (t *Tracker) MeanLag() sim.Duration {
+	if t.LagCount == 0 {
+		return 0
+	}
+	return t.lagSum / sim.Duration(t.LagCount)
+}
+
+// MarkDirty is the dirty-capture hook pmem.Device.WriteAt calls for
+// every store. It folds [off, off+n) into the open epoch's stripe set:
+// a first-touch sets the stripe's bit and appends the stripe id to the
+// epoch list (amortized into the tracker-owned slice). Stores outside
+// the covered extent — below CoverStart (FS metadata, DMA completion
+// buffers) or into the parity region itself — are excluded, which
+// breaks the capture->parity->capture cycle. Under PolicyEager a first
+// touch also kicks the parity worker awake through the pre-bound wake
+// callback.
+//
+//easyio:hotpath (called under every foreground store; must not allocate)
+func (t *Tracker) MarkDirty(off int64, n int) {
+	if off >= t.regionOff || n <= 0 {
+		return
+	}
+	end := off + int64(n) - 1
+	if end >= t.regionOff {
+		end = t.regionOff - 1
+	}
+	if end < t.coverStart {
+		return
+	}
+	if off < t.coverStart {
+		off = t.coverStart
+	}
+	s0 := (off - t.coverStart) >> t.stripeShift
+	s1 := (end - t.coverStart) >> t.stripeShift
+	for s := s0; s <= s1; s++ {
+		w, b := s>>6, uint64(1)<<(uint64(s)&63)
+		if t.bits[w]&b == 0 {
+			t.bits[w] |= b
+			t.dirty = append(t.dirty, uint32(s))
+			if t.opts.Policy == PolicyEager && t.wake != nil {
+				t.wake()
+			}
+		}
+	}
+}
+
+// Start installs the capture hook, registers the freshness LApp with the
+// channel manager, and spawns the parity worker uthread. mgr may be nil
+// (no QoS integration: compute falls back to direct functional reads).
+func (t *Tracker) Start(rt *caladan.Runtime, mgr *core.Manager) {
+	t.rt = rt
+	t.mgr = mgr
+	if mgr != nil {
+		t.lapp = mgr.RegisterLApp(t.opts.DelayBound)
+	}
+	t.dev.SetDirtyFunc(t.MarkDirty)
+	t.ut = rt.Spawn(t.opts.Core, "parity-worker", t.worker)
+	t.wake = t.ut.WakeFn()
+}
+
+// Stop removes the capture hook and retires the worker. Stripes dirtied
+// after the last sealed epoch stay unprotected — that residue is the
+// freshness lag the recovery scrub exists for.
+func (t *Tracker) Stop() {
+	t.stopping = true
+	t.dev.SetDirtyFunc(nil)
+	if t.wake != nil {
+		t.wake()
+	}
+}
+
+// worker is the parity uthread: it parks (PolicyEager) or sleeps one
+// epoch (PolicyEpoch) between batches, then drives a full epoch through
+// the state machine. The harvested-window claim is literal — the uthread
+// holds no core while parked, and its DMA waits park too.
+func (t *Tracker) worker(task *caladan.Task) {
+	for {
+		if t.opts.Policy == PolicyEager {
+			for len(t.dirty) == 0 && !t.stopping {
+				task.Park()
+			}
+		} else {
+			task.Sleep(t.opts.EpochLen)
+		}
+		if t.stopping {
+			return
+		}
+		if len(t.dirty) == 0 {
+			continue
+		}
+		start := task.Now()
+		t.deadline = start + sim.Time(t.opts.DelayBound/2)
+		ep := t.OpenEpoch()
+		ep.Seal()
+		ep.Compute(task)
+		ep.Persist()
+		ep.Advance()
+		t.observeLag(sim.Duration(task.Now() - start))
+	}
+}
+
+func (t *Tracker) observeLag(lag sim.Duration) {
+	if lag > t.MaxLag {
+		t.MaxLag = lag
+	}
+	t.lagSum += lag
+	t.LagCount++
+	if t.lapp != nil {
+		t.lapp.Report(lag)
+	}
+}
+
+// stripeDataOff returns the device offset of stripe s's k-th data page.
+func (t *Tracker) stripeDataOff(s int64, k int) int64 {
+	return t.coverStart + s<<t.stripeShift + int64(k)*PageSize
+}
+
+// stripeParityOff returns the device offset of stripe s's parity page.
+func (t *Tracker) stripeParityOff(s int64) int64 {
+	return t.parityOff + s*PageSize
+}
+
+// onRead is the pre-bound DMA read completion callback: the last
+// completion of a stripe's batch wakes the parked worker.
+func (t *Tracker) onRead(sn uint64) {
+	t.pend--
+	if t.pend == 0 && t.wake != nil {
+		t.wake()
+	}
+}
+
+// xorInto folds 4 KB of src into dst, 8 bytes at a time.
+func xorInto(dst, src []byte) {
+	_ = dst[PageSize-1]
+	_ = src[PageSize-1]
+	for i := 0; i < PageSize; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+}

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/easyio-sim/easyio/internal/invariants"
 )
@@ -150,6 +151,9 @@ type Engine struct {
 	dead    int
 	free    []*event
 	procs   map[*Proc]struct{}
+	// procSeq numbers procs at creation so Shutdown can kill the
+	// surviving set in a deterministic (creation) order.
+	procSeq uint64
 	stopped bool
 	// inEvent guards against Proc misuse (Resume outside event context).
 	inEvent bool
@@ -413,8 +417,15 @@ func (e *Engine) clearHorizon() { e.horizonOn = false }
 // called outside event context (after Run returns). The engine remains
 // usable for inspection but no further events should be scheduled.
 func (e *Engine) Shutdown() {
-	//easyio:allow maporder (the Proc set is node-confined to this engine — kills are independent and post-run teardown order is unobservable)
+	// Kill in creation order: kill() unwinds each coroutine, and unwind
+	// side effects (deferred cleanups, panic funnels) deserve the same
+	// determinism as the run itself.
+	live := make([]*Proc, 0, len(e.procs))
 	for p := range e.procs {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].pseq < live[j].pseq })
+	for _, p := range live {
 		p.kill()
 	}
 }
@@ -444,6 +455,9 @@ type Proc struct {
 	resume chan bool // engine -> proc; value true means "kill"
 	yield  chan struct{}
 	fn     func(*Proc)
+	// pseq is the creation sequence number; Shutdown kills survivors in
+	// this order so teardown is as deterministic as the run.
+	pseq uint64
 
 	// tag lets runtimes attach the reason the proc paused (e.g. the
 	// scheduler request a uthread made). Owned by the embedding runtime.
@@ -461,7 +475,9 @@ func (e *Engine) NewProc(name string, fn func(*Proc)) *Proc {
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
 		fn:     fn,
+		pseq:   e.procSeq,
 	}
+	e.procSeq++
 	e.procs[p] = struct{}{}
 	return p
 }
